@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks for the kernels behind the paper's
+//! complexity analysis (§IV-E): the four completion operations, spmm,
+//! edge softmax, the proximal projections, and the modularity loss.
+
+use autoac_completion::{CompletionContext, CompletionOp, CompletionOps};
+use autoac_core::cluster::ModularityContext;
+use autoac_core::proximal::{prox_c1, prox_c2};
+use autoac_data::{presets, synth, Scale};
+use autoac_graph::norm;
+use autoac_tensor::{spmm, Matrix, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_completion_ops(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Tiny, 0);
+    let ctx = CompletionContext::build(&data.graph, &data.has_attr());
+    let mut rng = StdRng::seed_from_u64(0);
+    let ops = CompletionOps::new(ctx, 64, &mut rng);
+    let n = data.graph.num_nodes();
+    let x0 = Tensor::constant(autoac_tensor::init::random_normal(n, 64, 0.1, &mut rng));
+    let mut group = c.benchmark_group("completion_op");
+    for op in CompletionOp::ALL {
+        group.bench_function(op.name(), |b| {
+            b.iter(|| black_box(ops.op_output(op, &x0).to_matrix()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Tiny, 0);
+    let adj = Rc::new(norm::sym_norm_adj(&data.graph));
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = data.graph.num_nodes();
+    let x = Tensor::constant(autoac_tensor::init::random_normal(n, 64, 0.1, &mut rng));
+    c.bench_function("spmm_sym_adj_64", |b| {
+        b.iter(|| black_box(spmm(&adj, &adj, &x).to_matrix()))
+    });
+}
+
+fn bench_edge_softmax(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Tiny, 0);
+    let idx = autoac_nn::EdgeIndex::typed(&data.graph);
+    let mut rng = StdRng::seed_from_u64(2);
+    let scores = Tensor::constant(autoac_tensor::init::random_normal(idx.len(), 1, 1.0, &mut rng));
+    c.bench_function("edge_softmax", |b| {
+        b.iter(|| black_box(scores.group_softmax(&idx.dst, idx.num_nodes).to_matrix()))
+    });
+}
+
+fn bench_proximal(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let alpha = autoac_tensor::init::random_uniform(2048, 4, 0.0, 1.0, &mut rng);
+    c.bench_function("prox_c1_2048x4", |b| b.iter(|| black_box(prox_c1(&alpha))));
+    c.bench_function("prox_c2_2048x4", |b| b.iter(|| black_box(prox_c2(&alpha))));
+}
+
+fn bench_modularity_loss(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Tiny, 0);
+    let ctx = ModularityContext::build(&data.graph, 8);
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = data.graph.num_nodes();
+    let logits = Tensor::constant(autoac_tensor::init::random_normal(n, 8, 0.5, &mut rng));
+    c.bench_function("modularity_loss", |b| {
+        b.iter(|| black_box(ctx.loss(&logits.softmax_rows()).item()))
+    });
+}
+
+fn bench_dense_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = autoac_tensor::init::random_normal(256, 256, 1.0, &mut rng);
+    let b_m = autoac_tensor::init::random_normal(256, 256, 1.0, &mut rng);
+    c.bench_function("matmul_256", |bch| bch.iter(|| black_box(a.matmul(&b_m))));
+    let _ = Matrix::zeros(1, 1);
+}
+
+/// §IV-E complexity scaling: completion-phase cost vs. graph size. Mean
+/// aggregation should scale with edges incident to `V⁻`; PPNP with the
+/// whole graph (`O(N·k²)` per §IV-E).
+fn bench_completion_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completion_scaling");
+    group.sample_size(10);
+    for (label, factor) in [("n_div32", 1.0 / 32.0), ("n_div16", 1.0 / 16.0), ("n_div8", 1.0 / 8.0)]
+    {
+        let data = synth::generate(&presets::imdb(), Scale::Factor(factor), 0);
+        let ctx = CompletionContext::build(&data.graph, &data.has_attr());
+        let mut rng = StdRng::seed_from_u64(0);
+        let ops = CompletionOps::new(ctx, 64, &mut rng);
+        let n = data.graph.num_nodes();
+        let x0 = Tensor::constant(autoac_tensor::init::random_normal(n, 64, 0.1, &mut rng));
+        group.bench_function(format!("mean/{label}"), |b| {
+            b.iter(|| black_box(ops.op_output(CompletionOp::Mean, &x0).to_matrix()))
+        });
+        group.bench_function(format!("ppnp/{label}"), |b| {
+            b.iter(|| black_box(ops.op_output(CompletionOp::Ppnp, &x0).to_matrix()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_completion_ops,
+    bench_spmm,
+    bench_edge_softmax,
+    bench_proximal,
+    bench_modularity_loss,
+    bench_dense_matmul,
+    bench_completion_scaling
+);
+criterion_main!(kernels);

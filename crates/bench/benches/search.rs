@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the search machinery: discrete-constraint
+//! completion vs. full-mixture completion (the cost driver behind
+//! Table VIII), and a full search epoch in both modes.
+
+use autoac_completion::{
+    complete_assigned, complete_mixture, CompletionContext, CompletionOp, CompletionOps,
+};
+use autoac_core::{search, AutoAcConfig, Backbone, ClassificationTask, TrainConfig};
+use autoac_data::{presets, synth, Scale};
+use autoac_nn::GnnConfig;
+use autoac_tensor::{Matrix, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_completion_modes(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Tiny, 0);
+    let ctx = CompletionContext::build(&data.graph, &data.has_attr());
+    let mut rng = StdRng::seed_from_u64(0);
+    let n_missing = ctx.num_missing();
+    let ops = CompletionOps::new(ctx, 64, &mut rng);
+    let n = data.graph.num_nodes();
+    let x0 = Tensor::constant(autoac_tensor::init::random_normal(n, 64, 0.1, &mut rng));
+
+    // Discrete: a single activated op per node (all GCN here — the common
+    // case after convergence).
+    let assignment = vec![CompletionOp::Gcn; n_missing];
+    c.bench_function("complete_discrete_single_active_op", |b| {
+        b.iter(|| black_box(complete_assigned(&ops, &x0, &assignment).to_matrix()))
+    });
+
+    // Mixture: all four ops evaluated and blended.
+    let weights = Tensor::constant(Matrix::full(n_missing, 4, 0.25));
+    c.bench_function("complete_mixture_all_ops", |b| {
+        b.iter(|| black_box(complete_mixture(&ops, &x0, &weights).to_matrix()))
+    });
+}
+
+fn bench_search_epoch(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Tiny, 0);
+    let gnn = GnnConfig {
+        in_dim: 32,
+        hidden: 32,
+        out_dim: data.num_classes,
+        layers: 2,
+        dropout: 0.0,
+        ..Default::default()
+    };
+    let task = ClassificationTask::new(&data);
+    let mut group = c.benchmark_group("search_epoch");
+    group.sample_size(10);
+    for (label, discrete) in [("discrete", true), ("mixture", false)] {
+        let ac = AutoAcConfig {
+            clusters: 8,
+            search_epochs: 1,
+            discrete,
+            train: TrainConfig { epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(search(&data, Backbone::Gcn, &gnn, &ac, &task, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(search_benches, bench_completion_modes, bench_search_epoch);
+criterion_main!(search_benches);

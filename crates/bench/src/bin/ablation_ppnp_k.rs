@@ -1,0 +1,56 @@
+//! Extra ablation (not in the paper, DESIGN.md §3 note): sensitivity of the
+//! PPNP completion operation to its propagation depth `K` and restart
+//! probability α_r — validating the multi-hop design choice behind Eq. 4.
+//!
+//! Runs single-op PPNP completion on DBLP (where the target type has no
+//! attributes, so completion is load-bearing).
+
+use autoac_bench::{cell, gnn_cfg, header, row, Args};
+use autoac_core::{train_node_classification, Backbone, CompletionMode, Pipeline};
+use autoac_completion::CompletionOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    header(
+        &format!("Ablation — PPNP depth K on DBLP (scale {:?}, {} seeds)", args.scale, args.seeds),
+        &["Macro-F1", "Micro-F1"],
+    );
+    for k in [1usize, 2, 4, 8, 16] {
+        let (ma, mi) = run(&args, |pipe| pipe.ops.ppnp_k = k);
+        row(&format!("K = {k}"), &[cell(&ma), cell(&mi)]);
+    }
+    header(
+        &format!(
+            "Ablation — PPNP restart α_r on DBLP (scale {:?}, {} seeds)",
+            args.scale, args.seeds
+        ),
+        &["Macro-F1", "Micro-F1"],
+    );
+    for alpha in [0.05f32, 0.15, 0.3, 0.5, 0.9] {
+        let (ma, mi) = run(&args, |pipe| pipe.ops.ppnp_alpha = alpha);
+        row(&format!("α_r = {alpha:.2}"), &[cell(&ma), cell(&mi)]);
+    }
+}
+
+fn run(args: &Args, tweak: impl Fn(&mut Pipeline)) -> (Vec<f64>, Vec<f64>) {
+    let (mut ma, mut mi) = (Vec::new(), Vec::new());
+    for seed in 0..args.seeds as u64 {
+        let data = args.dataset("dblp", seed);
+        let cfg = gnn_cfg(&data, Backbone::SimpleHgn, false);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pipe = Pipeline::new(
+            &data,
+            Backbone::SimpleHgn,
+            &cfg,
+            CompletionMode::Single(CompletionOp::Ppnp),
+            &mut rng,
+        );
+        tweak(&mut pipe);
+        let out = train_node_classification(&pipe, &data, &args.train_cfg(), seed);
+        ma.push(out.macro_f1);
+        mi.push(out.micro_f1);
+    }
+    (ma, mi)
+}

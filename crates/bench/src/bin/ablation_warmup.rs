@@ -1,0 +1,33 @@
+//! Extra ablation (not in the paper, DESIGN.md §3 note): effect of the
+//! ω warm-up before α updates start. With zero warm-up, the very first α
+//! gradients are taken against randomly initialized GNN weights; the
+//! DARTS literature and our defaults use a short warm-up.
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{run_autoac_classification, Backbone};
+
+fn main() {
+    let args = Args::parse();
+    for dataset in ["DBLP", "IMDB"] {
+        header(
+            &format!(
+                "Ablation — ω warm-up epochs, SimpleHGN-AutoAC on {dataset} (scale {:?}, {} seeds)",
+                args.scale, args.seeds
+            ),
+            &["Macro-F1", "Micro-F1"],
+        );
+        for warmup in [0usize, 2, 5, 10] {
+            let (mut ma, mut mi) = (Vec::new(), Vec::new());
+            for seed in 0..args.seeds as u64 {
+                let data = args.dataset(dataset, seed);
+                let cfg = gnn_cfg(&data, Backbone::SimpleHgn, false);
+                let mut ac = autoac_cfg(Backbone::SimpleHgn, dataset, &args);
+                ac.omega_warmup = warmup;
+                let run = run_autoac_classification(&data, Backbone::SimpleHgn, &cfg, &ac, seed);
+                ma.push(run.outcome.macro_f1);
+                mi.push(run.outcome.micro_f1);
+            }
+            row(&format!("warm-up = {warmup}"), &[cell(&ma), cell(&mi)]);
+        }
+    }
+}

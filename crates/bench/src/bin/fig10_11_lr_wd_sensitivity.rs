@@ -1,0 +1,60 @@
+//! Figures 10 & 11 (appendix): sensitivity to the α learning rate and α
+//! weight decay.
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{run_autoac_classification, Backbone};
+
+fn main() {
+    let args = Args::parse();
+    let lrs = [3e-3f32, 4e-3, 5e-3, 6e-3, 7e-3];
+    let wds = [5e-6f32, 1e-5, 2e-5, 3e-5, 4e-3];
+    for &backbone in &[Backbone::SimpleHgn, Backbone::Magnn] {
+        for dataset in ["DBLP", "ACM", "IMDB"] {
+            header(
+                &format!(
+                    "Fig. 10 — {} on {dataset}, α learning rate (scale {:?}, {} seeds)",
+                    backbone.name(),
+                    args.scale,
+                    args.seeds
+                ),
+                &["Macro-F1", "Micro-F1"],
+            );
+            for lr in lrs {
+                let (ma, mi) = sweep(&args, dataset, backbone, |ac| ac.alpha_lr = lr);
+                row(&format!("lr = {lr:.0e}"), &[cell(&ma), cell(&mi)]);
+            }
+            header(
+                &format!(
+                    "Fig. 11 — {} on {dataset}, α weight decay (scale {:?}, {} seeds)",
+                    backbone.name(),
+                    args.scale,
+                    args.seeds
+                ),
+                &["Macro-F1", "Micro-F1"],
+            );
+            for wd in wds {
+                let (ma, mi) = sweep(&args, dataset, backbone, |ac| ac.alpha_wd = wd);
+                row(&format!("wd = {wd:.0e}"), &[cell(&ma), cell(&mi)]);
+            }
+        }
+    }
+}
+
+fn sweep(
+    args: &Args,
+    dataset: &str,
+    backbone: Backbone,
+    tweak: impl Fn(&mut autoac_core::AutoAcConfig),
+) -> (Vec<f64>, Vec<f64>) {
+    let (mut ma, mut mi) = (Vec::new(), Vec::new());
+    for seed in 0..args.seeds as u64 {
+        let data = args.dataset(dataset, seed);
+        let cfg = gnn_cfg(&data, backbone, false);
+        let mut ac = autoac_cfg(backbone, dataset, args);
+        tweak(&mut ac);
+        let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+        ma.push(run.outcome.macro_f1);
+        mi.push(run.outcome.micro_f1);
+    }
+    (ma, mi)
+}

@@ -1,0 +1,42 @@
+//! Figure 3: comparison of the clustering strategies inside the search —
+//! no clustering (per-node α), EM (k-means each epoch), EM with warm-up,
+//! and the paper's joint modularity clustering (AutoAC).
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{run_autoac_classification, Backbone, ClusteringMode};
+
+fn main() {
+    let args = Args::parse();
+    let modes = [
+        ("w/o cluster", ClusteringMode::NoCluster),
+        ("EM", ClusteringMode::Em),
+        ("EM with warmup", ClusteringMode::EmWarmup(5)),
+        ("AutoAC (GmoC)", ClusteringMode::GmoC),
+    ];
+    for &backbone in &[Backbone::SimpleHgn, Backbone::Magnn] {
+        for dataset in ["DBLP", "ACM", "IMDB"] {
+            header(
+                &format!(
+                    "Fig. 3 — {} on {dataset} (scale {:?}, {} seeds)",
+                    backbone.name(),
+                    args.scale,
+                    args.seeds
+                ),
+                &["Macro-F1", "Micro-F1"],
+            );
+            for (label, mode) in modes {
+                let (mut ma, mut mi) = (Vec::new(), Vec::new());
+                for seed in 0..args.seeds as u64 {
+                    let data = args.dataset(dataset, seed);
+                    let cfg = gnn_cfg(&data, backbone, false);
+                    let mut ac = autoac_cfg(backbone, dataset, &args);
+                    ac.clustering = mode;
+                    let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+                    ma.push(run.outcome.macro_f1);
+                    mi.push(run.outcome.micro_f1);
+                }
+                row(label, &[cell(&ma), cell(&mi)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 5: distribution of searched completion operations per dataset
+//! and backbone (SimpleHGN-AutoAC and MAGNN-AutoAC).
+
+use autoac_bench::{autoac_cfg, gnn_cfg, Args};
+use autoac_core::{search, Backbone, ClassificationTask};
+use autoac_completion::CompletionOp;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "### Fig. 5 — distribution of searched completion operations (scale {:?}, seed 0)",
+        args.scale
+    );
+    println!(
+        "| {:<10} | {:<10} | {:>8} | {:>8} | {:>8} | {:>11} |",
+        "backbone", "dataset", "MEAN", "GCN", "PPNP", "One-hot"
+    );
+    for &backbone in &[Backbone::SimpleHgn, Backbone::Magnn] {
+        for dataset in ["DBLP", "ACM", "IMDB"] {
+            let data = args.dataset(dataset, 0);
+            let cfg = gnn_cfg(&data, backbone, false);
+            let ac = autoac_cfg(backbone, dataset, &args);
+            let task = ClassificationTask::new(&data);
+            let out = search(&data, backbone, &cfg, &ac, &task, 0);
+            let total: usize = out.op_histogram.iter().sum();
+            let pct = |op: CompletionOp| {
+                100.0 * out.op_histogram[op.index()] as f64 / total.max(1) as f64
+            };
+            println!(
+                "| {:<10} | {:<10} | {:>7.1}% | {:>7.1}% | {:>7.1}% | {:>10.1}% |",
+                backbone.name(),
+                dataset,
+                pct(CompletionOp::Mean),
+                pct(CompletionOp::Gcn),
+                pct(CompletionOp::Ppnp),
+                pct(CompletionOp::OneHot),
+            );
+        }
+    }
+}

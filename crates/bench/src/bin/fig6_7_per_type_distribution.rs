@@ -1,0 +1,49 @@
+//! Figures 6 & 7: per-node-type distribution of searched completion
+//! operations on ACM (Fig. 6) and IMDB (Fig. 7), using SimpleHGN-AutoAC.
+
+use autoac_bench::{autoac_cfg, gnn_cfg, Args};
+use autoac_core::{search, Backbone, ClassificationTask};
+use autoac_completion::CompletionOp;
+
+fn main() {
+    let args = Args::parse();
+    for (fig, dataset) in [("6", "ACM"), ("7", "IMDB")] {
+        let data = args.dataset(dataset, 0);
+        let cfg = gnn_cfg(&data, Backbone::SimpleHgn, false);
+        let ac = autoac_cfg(Backbone::SimpleHgn, dataset, &args);
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::SimpleHgn, &cfg, &ac, &task, 0);
+
+        println!(
+            "\n### Fig. {fig} — per-type op distribution on {dataset} (SimpleHGN-AutoAC, scale {:?})",
+            args.scale
+        );
+        println!(
+            "| {:<10} | {:>8} | {:>8} | {:>8} | {:>11} |",
+            "node type", "MEAN", "GCN", "PPNP", "One-hot"
+        );
+        let missing = data.missing_nodes();
+        for t in 0..data.graph.num_node_types() {
+            let range = data.graph.nodes_of_type(t);
+            let mut counts = [0usize; 4];
+            for (pos, &v) in missing.iter().enumerate() {
+                if range.contains(&(v as usize)) {
+                    counts[out.assignment[pos].index()] += 1;
+                }
+            }
+            let total: usize = counts.iter().sum();
+            if total == 0 {
+                continue; // attributed type
+            }
+            let pct = |op: CompletionOp| 100.0 * counts[op.index()] as f64 / total as f64;
+            println!(
+                "| {:<10} | {:>7.1}% | {:>7.1}% | {:>7.1}% | {:>10.1}% |",
+                data.graph.node_type_name(t),
+                pct(CompletionOp::Mean),
+                pct(CompletionOp::Gcn),
+                pct(CompletionOp::Ppnp),
+                pct(CompletionOp::OneHot),
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 8: sensitivity to the number of clusters M.
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{run_autoac_classification, Backbone};
+
+fn main() {
+    let args = Args::parse();
+    for &backbone in &[Backbone::SimpleHgn, Backbone::Magnn] {
+        for dataset in ["DBLP", "ACM", "IMDB"] {
+            header(
+                &format!(
+                    "Fig. 8 — {} on {dataset}, varying M (scale {:?}, {} seeds)",
+                    backbone.name(),
+                    args.scale,
+                    args.seeds
+                ),
+                &["Macro-F1", "Micro-F1"],
+            );
+            for m in [2usize, 4, 8, 12, 16, 24] {
+                let (mut ma, mut mi) = (Vec::new(), Vec::new());
+                for seed in 0..args.seeds as u64 {
+                    let data = args.dataset(dataset, seed);
+                    let cfg = gnn_cfg(&data, backbone, false);
+                    let mut ac = autoac_cfg(backbone, dataset, &args);
+                    ac.clusters = m;
+                    let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+                    ma.push(run.outcome.macro_f1);
+                    mi.push(run.outcome.micro_f1);
+                }
+                row(&format!("M = {m}"), &[cell(&ma), cell(&mi)]);
+            }
+        }
+    }
+}

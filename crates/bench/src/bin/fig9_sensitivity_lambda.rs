@@ -1,0 +1,34 @@
+//! Figure 9: sensitivity to the clustering-loss weight λ.
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{run_autoac_classification, Backbone};
+
+fn main() {
+    let args = Args::parse();
+    for &backbone in &[Backbone::SimpleHgn, Backbone::Magnn] {
+        for dataset in ["DBLP", "ACM", "IMDB"] {
+            header(
+                &format!(
+                    "Fig. 9 — {} on {dataset}, varying λ (scale {:?}, {} seeds)",
+                    backbone.name(),
+                    args.scale,
+                    args.seeds
+                ),
+                &["Macro-F1", "Micro-F1"],
+            );
+            for lambda in [0.1f32, 0.2, 0.3, 0.4, 0.5] {
+                let (mut ma, mut mi) = (Vec::new(), Vec::new());
+                for seed in 0..args.seeds as u64 {
+                    let data = args.dataset(dataset, seed);
+                    let cfg = gnn_cfg(&data, backbone, false);
+                    let mut ac = autoac_cfg(backbone, dataset, &args);
+                    ac.lambda = lambda;
+                    let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+                    ma.push(run.outcome.macro_f1);
+                    mi.push(run.outcome.micro_f1);
+                }
+                row(&format!("λ = {lambda:.1}"), &[cell(&ma), cell(&mi)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Table II: node classification — humancrafted heterogeneous GNNs vs.
+//! MAGNN-AutoAC and SimpleHGN-AutoAC on DBLP / ACM / IMDB.
+//!
+//! Prints Macro-F1 / Micro-F1 (mean±std over seeds) and runtimes, plus the
+//! Welch t-test p-value of SimpleHGN-AutoAC over the best baseline.
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{
+    run_autoac_classification, run_hgca_classification, train_node_classification, Backbone,
+    CompletionMode, HgcaConfig, Pipeline,
+};
+use autoac_completion::CompletionOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let baselines = [
+        Backbone::Han,
+        Backbone::Gtn,
+        Backbone::HetSann,
+        Backbone::Magnn,
+        Backbone::Hgt,
+        Backbone::HetGnn,
+        Backbone::Gcn,
+        Backbone::Gat,
+        Backbone::SimpleHgn,
+    ];
+    for dataset in ["DBLP", "ACM", "IMDB"] {
+        header(
+            &format!("Table II — {dataset} (scale {:?}, {} seeds)", args.scale, args.seeds),
+            &["Macro-F1", "Micro-F1", "total s", "s/epoch"],
+        );
+        let mut best_baseline_micro: Vec<f64> = Vec::new();
+        let mut best_baseline_mean = f64::NEG_INFINITY;
+        for &backbone in &baselines {
+            let (ma, mi, secs, per) = run_baseline(&args, dataset, backbone);
+            if autoac_eval::mean(&mi) > best_baseline_mean {
+                best_baseline_mean = autoac_eval::mean(&mi);
+                best_baseline_micro = mi.clone();
+            }
+            row(
+                backbone.name(),
+                &[cell(&ma), cell(&mi), format!("{secs:.1}"), format!("{per:.3}")],
+            );
+        }
+        {
+            // HGCA: unsupervised completion pre-training baseline.
+            let (mut ma, mut mi) = (Vec::new(), Vec::new());
+            let mut secs = 0.0;
+            for seed in 0..args.seeds as u64 {
+                let data = args.dataset(dataset, seed);
+                let cfg = gnn_cfg(&data, Backbone::Gcn, false);
+                let out = run_hgca_classification(
+                    &data,
+                    Backbone::Gcn,
+                    &cfg,
+                    &HgcaConfig::default(),
+                    &args.train_cfg(),
+                    seed,
+                );
+                ma.push(out.macro_f1);
+                mi.push(out.micro_f1);
+                secs += out.seconds;
+            }
+            if autoac_eval::mean(&mi) > best_baseline_mean {
+                best_baseline_micro = mi.clone();
+            }
+            row(
+                "HGCA",
+                &[cell(&ma), cell(&mi), format!("{:.1}", secs / args.seeds as f64), "-".into()],
+            );
+        }
+        for &backbone in &[Backbone::Magnn, Backbone::SimpleHgn] {
+            let (ma, mi, secs, per) = run_autoac(&args, dataset, backbone);
+            row(
+                &format!("{}-AutoAC", backbone.name()),
+                &[cell(&ma), cell(&mi), format!("{secs:.1}"), format!("{per:.3}")],
+            );
+            if backbone == Backbone::SimpleHgn && mi.len() >= 2 && best_baseline_micro.len() >= 2
+            {
+                let t = autoac_eval::welch_t_test(&mi, &best_baseline_micro);
+                println!(
+                    "p-value (SimpleHGN-AutoAC > best baseline Micro-F1): {:.2e}",
+                    t.p_one_sided
+                );
+            }
+        }
+    }
+}
+
+fn run_baseline(
+    args: &Args,
+    dataset: &str,
+    backbone: Backbone,
+) -> (Vec<f64>, Vec<f64>, f64, f64) {
+    let mut ma = Vec::new();
+    let mut mi = Vec::new();
+    let mut secs = 0.0;
+    let mut per = 0.0;
+    for seed in 0..args.seeds as u64 {
+        let data = args.dataset(dataset, seed);
+        let cfg = gnn_cfg(&data, backbone, false);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // HGB handcrafted completion: one-hot (embedding) features for the
+        // missing types.
+        let pipe = Pipeline::new(
+            &data,
+            backbone,
+            &cfg,
+            CompletionMode::Single(CompletionOp::OneHot),
+            &mut rng,
+        );
+        let out = train_node_classification(&pipe, &data, &args.train_cfg(), seed);
+        ma.push(out.macro_f1);
+        mi.push(out.micro_f1);
+        secs += out.seconds;
+        per += out.per_epoch();
+    }
+    (ma, mi, secs / args.seeds as f64, per / args.seeds as f64)
+}
+
+fn run_autoac(args: &Args, dataset: &str, backbone: Backbone) -> (Vec<f64>, Vec<f64>, f64, f64) {
+    let mut ma = Vec::new();
+    let mut mi = Vec::new();
+    let mut secs = 0.0;
+    let mut per = 0.0;
+    for seed in 0..args.seeds as u64 {
+        let data = args.dataset(dataset, seed);
+        let cfg = gnn_cfg(&data, backbone, false);
+        let ac = autoac_cfg(backbone, dataset, args);
+        let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+        ma.push(run.outcome.macro_f1);
+        mi.push(run.outcome.micro_f1);
+        secs += run.search.search_seconds + run.outcome.seconds;
+        per += run.outcome.per_epoch();
+    }
+    (ma, mi, secs / args.seeds as f64, per / args.seeds as f64)
+}

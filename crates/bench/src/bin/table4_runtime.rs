@@ -1,0 +1,66 @@
+//! Table IV: end-to-end runtime comparison between AutoAC (search +
+//! retrain) and HGNN-AC (pre-learn + train), per backbone and dataset,
+//! with the speedup factor.
+//!
+//! Absolute seconds reflect the CPU substrate, not the paper's V100; the
+//! reproduction target is the *structure*: HGNN-AC's pre-learning stage
+//! dominates its end-to-end cost, AutoAC has no pre-learning, and the
+//! speedup factor is large on the walk-heavy datasets.
+
+use autoac_bench::{autoac_cfg, gnn_cfg, Args};
+use autoac_core::{
+    run_autoac_classification, run_hgnnac_classification, Backbone, HgnnAcConfig,
+};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "### Table IV — end-to-end runtime (seconds, scale {:?}, seed 0)",
+        args.scale
+    );
+    println!(
+        "| {:<8} | {:<18} | {:>9} | {:>7} | {:>12} | {:>8} | {:>8} |",
+        "dataset", "model", "pre-learn", "search", "train/retrain", "total", "speedup"
+    );
+    for dataset in ["DBLP", "ACM", "IMDB"] {
+        for &backbone in &[Backbone::SimpleHgn, Backbone::Magnn] {
+            let data = args.dataset(dataset, 0);
+            let cfg = gnn_cfg(&data, backbone, false);
+
+            let (prelearn, hgnnac_out) = run_hgnnac_classification(
+                &data,
+                backbone,
+                &cfg,
+                &HgnnAcConfig::default(),
+                &args.train_cfg(),
+                0,
+            );
+            let hgnnac_total = prelearn + hgnnac_out.seconds;
+
+            let ac = autoac_cfg(backbone, dataset, &args);
+            let run = run_autoac_classification(&data, backbone, &cfg, &ac, 0);
+            let autoac_total = run.search.search_seconds + run.outcome.seconds;
+
+            println!(
+                "| {:<8} | {:<18} | {:>9.1} | {:>7} | {:>12.1} | {:>8.1} | {:>8} |",
+                dataset,
+                format!("{}-HGNNAC", backbone.name()),
+                prelearn,
+                "/",
+                hgnnac_out.seconds,
+                hgnnac_total,
+                "/"
+            );
+            println!(
+                "| {:<8} | {:<18} | {:>9} | {:>7.1} | {:>12.1} | {:>8.1} | {:>7.1}x |",
+                dataset,
+                format!("{}-AutoAC", backbone.name()),
+                "/",
+                run.search.search_seconds,
+                run.outcome.seconds,
+                autoac_total,
+                hgnnac_total / autoac_total.max(1e-9)
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Table V: link prediction on LastFM / DBLP / IMDB — ROC-AUC and MRR of
+//! the baselines vs. SimpleHGN-AutoAC (10% masked target edges).
+
+use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
+use autoac_core::{
+    run_autoac_link_prediction, train_link_prediction, Backbone, CompletionMode, Pipeline,
+};
+use autoac_completion::CompletionOp;
+use autoac_data::mask_edges;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let baselines = [
+        Backbone::Gatne,
+        Backbone::HetGnn,
+        Backbone::Gcn,
+        Backbone::Gat,
+        Backbone::SimpleHgnLp,
+    ];
+    for dataset in ["LastFM", "DBLP", "IMDB"] {
+        header(
+            &format!("Table V — {dataset} (scale {:?}, {} seeds)", args.scale, args.seeds),
+            &["ROC-AUC", "MRR", "total s", "s/epoch"],
+        );
+        let mut best_auc: Vec<f64> = Vec::new();
+        let mut best_mean = f64::NEG_INFINITY;
+        for &backbone in &baselines {
+            let (auc, mrr, secs, per) = run_baseline(&args, dataset, backbone);
+            if autoac_eval::mean(&auc) > best_mean {
+                best_mean = autoac_eval::mean(&auc);
+                best_auc = auc.clone();
+            }
+            row(
+                backbone.name(),
+                &[cell(&auc), cell(&mrr), format!("{secs:.1}"), format!("{per:.3}")],
+            );
+        }
+        let (auc, mrr, secs, per) = run_autoac(&args, dataset);
+        row(
+            "SimpleHGN-AutoAC",
+            &[cell(&auc), cell(&mrr), format!("{secs:.1}"), format!("{per:.3}")],
+        );
+        if auc.len() >= 2 && best_auc.len() >= 2 {
+            let t = autoac_eval::welch_t_test(&auc, &best_auc);
+            println!("p-value (AutoAC > best baseline ROC-AUC): {:.2e}", t.p_one_sided);
+        }
+    }
+}
+
+fn run_baseline(
+    args: &Args,
+    dataset: &str,
+    backbone: Backbone,
+) -> (Vec<f64>, Vec<f64>, f64, f64) {
+    let (mut aucs, mut mrrs) = (Vec::new(), Vec::new());
+    let (mut secs, mut per) = (0.0, 0.0);
+    for seed in 0..args.seeds as u64 {
+        let data = args.dataset(dataset, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = mask_edges(&data, 0.10, &mut rng);
+        let cfg = gnn_cfg(&data, backbone, true);
+        let pipe = Pipeline::new(
+            &split.train_data,
+            backbone,
+            &cfg,
+            CompletionMode::Single(CompletionOp::OneHot),
+            &mut rng,
+        );
+        let out = train_link_prediction(&pipe, &split, &args.train_cfg(), seed);
+        aucs.push(out.roc_auc);
+        mrrs.push(out.mrr);
+        secs += out.seconds;
+        per += out.per_epoch();
+    }
+    (aucs, mrrs, secs / args.seeds as f64, per / args.seeds as f64)
+}
+
+fn run_autoac(args: &Args, dataset: &str) -> (Vec<f64>, Vec<f64>, f64, f64) {
+    let (mut aucs, mut mrrs) = (Vec::new(), Vec::new());
+    let (mut secs, mut per) = (0.0, 0.0);
+    for seed in 0..args.seeds as u64 {
+        let data = args.dataset(dataset, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = mask_edges(&data, 0.10, &mut rng);
+        let cfg = gnn_cfg(&data, Backbone::SimpleHgnLp, true);
+        let ac = autoac_cfg(Backbone::SimpleHgnLp, dataset, args);
+        let run = run_autoac_link_prediction(&split, Backbone::SimpleHgnLp, &cfg, &ac, seed);
+        aucs.push(run.outcome.roc_auc);
+        mrrs.push(run.outcome.mrr);
+        secs += run.search.search_seconds + run.outcome.seconds;
+        per += run.outcome.per_epoch();
+    }
+    (aucs, mrrs, secs / args.seeds as f64, per / args.seeds as f64)
+}

@@ -1,0 +1,187 @@
+//! # autoac-bench
+//!
+//! Shared harness utilities for the experiment binaries that regenerate
+//! every table and figure of the paper (see `DESIGN.md` §3 for the
+//! experiment index). Each binary accepts:
+//!
+//! ```text
+//! --scale tiny|small|paper   dataset size profile   (default: small)
+//! --seeds N                  repetitions            (default: 3)
+//! --epochs N                 max training epochs    (default: 120)
+//! --search-epochs N          AutoAC search epochs   (default: 30)
+//! ```
+
+#![warn(missing_docs)]
+
+use autoac_core::{AutoAcConfig, Backbone, ClusteringMode, TrainConfig};
+use autoac_data::{presets, synth, Dataset, Scale};
+use autoac_nn::GnnConfig;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Dataset scale profile.
+    pub scale: Scale,
+    /// Number of seeds per configuration.
+    pub seeds: usize,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// AutoAC search epochs.
+    pub search_epochs: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self { scale: Scale::Small, seeds: 3, epochs: 120, search_epochs: 30 }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`; unknown flags abort with a usage message.
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let value = argv.get(i + 1).unwrap_or_else(|| usage(flag));
+            match flag {
+                "--scale" => {
+                    out.scale = Scale::parse(value).unwrap_or_else(|| usage(flag));
+                }
+                "--seeds" => out.seeds = value.parse().unwrap_or_else(|_| usage(flag)),
+                "--epochs" => out.epochs = value.parse().unwrap_or_else(|_| usage(flag)),
+                "--search-epochs" => {
+                    out.search_epochs = value.parse().unwrap_or_else(|_| usage(flag))
+                }
+                _ => usage(flag),
+            }
+            i += 2;
+        }
+        out
+    }
+
+    /// Training settings derived from the arguments.
+    pub fn train_cfg(&self) -> TrainConfig {
+        TrainConfig { epochs: self.epochs, patience: 20, ..TrainConfig::default() }
+    }
+
+    /// Loads a preset dataset at the configured scale.
+    pub fn dataset(&self, name: &str, seed: u64) -> Dataset {
+        let spec = presets::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown dataset {name}");
+            std::process::exit(2);
+        });
+        synth::generate(&spec, self.scale, seed)
+    }
+}
+
+fn usage(flag: &str) -> ! {
+    eprintln!(
+        "unexpected argument {flag}\nusage: --scale tiny|small|paper --seeds N --epochs N --search-epochs N"
+    );
+    std::process::exit(2)
+}
+
+/// GNN hyperparameters per backbone (HGB-flavored defaults scaled to the
+/// CPU substrate).
+pub fn gnn_cfg(data: &Dataset, backbone: Backbone, lp: bool) -> GnnConfig {
+    let out_dim = if lp { 64 } else { data.num_classes.max(2) };
+    let layers = match backbone {
+        Backbone::SimpleHgn | Backbone::SimpleHgnLp | Backbone::Gcn | Backbone::Gat => 2,
+        Backbone::Hgt | Backbone::Gtn => 2,
+        _ => 1,
+    };
+    GnnConfig {
+        in_dim: 64,
+        hidden: 64,
+        out_dim,
+        layers,
+        heads: 2,
+        dropout: 0.4,
+        slope: 0.05,
+        edge_dim: 32,
+        beta: 0.05,
+    }
+}
+
+/// AutoAC hyperparameters per backbone/dataset (paper §V-B: λ = 0.4 and
+/// per-dataset M for SimpleHGN; λ = 0.5 and per-dataset M for MAGNN).
+pub fn autoac_cfg(backbone: Backbone, dataset: &str, args: &Args) -> AutoAcConfig {
+    let (lambda, clusters) = match backbone {
+        Backbone::Magnn => {
+            let m = match dataset {
+                "DBLP" | "ACM" => 4,
+                "IMDB" => 16,
+                _ => 8,
+            };
+            (0.5, m)
+        }
+        _ => {
+            let m = match dataset {
+                "DBLP" => 8,
+                "ACM" | "IMDB" => 12,
+                _ => 8,
+            };
+            (0.4, m)
+        }
+    };
+    AutoAcConfig {
+        clusters,
+        lambda,
+        search_epochs: args.search_epochs,
+        clustering: ClusteringMode::GmoC,
+        train: args.train_cfg(),
+        ..AutoAcConfig::default()
+    }
+}
+
+/// Formats a `mean±std` cell from fractional scores.
+pub fn cell(scores: &[f64]) -> String {
+    autoac_eval::mean_std_pct(scores)
+}
+
+/// Prints a markdown-ish table row.
+pub fn row(name: &str, cells: &[String]) {
+    println!("| {:<22} | {} |", name, cells.join(" | "));
+}
+
+/// Prints a section header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n### {title}");
+    println!("| {:<22} | {} |", "model", cols.join(" | "));
+    println!("|{}|", "-".repeat(24 + cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert_eq!(a.seeds, 3);
+        assert!(matches!(a.scale, Scale::Small));
+    }
+
+    #[test]
+    fn autoac_cfg_follows_paper_hparams() {
+        let args = Args::default();
+        let c = autoac_cfg(Backbone::SimpleHgn, "DBLP", &args);
+        assert_eq!(c.clusters, 8);
+        assert!((c.lambda - 0.4).abs() < 1e-6);
+        let c = autoac_cfg(Backbone::Magnn, "IMDB", &args);
+        assert_eq!(c.clusters, 16);
+        assert!((c.lambda - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gnn_cfg_dimensions() {
+        let args = Args { scale: Scale::Tiny, ..Args::default() };
+        let data = args.dataset("imdb", 0);
+        let c = gnn_cfg(&data, Backbone::SimpleHgn, false);
+        assert_eq!(c.out_dim, data.num_classes);
+        let c = gnn_cfg(&data, Backbone::SimpleHgnLp, true);
+        assert_eq!(c.out_dim, 64);
+    }
+}

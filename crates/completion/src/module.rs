@@ -1,0 +1,229 @@
+//! Completion assembly: mixture (continuous relaxation, Eq. 5) and
+//! discrete-assignment completion, plus small shared helpers.
+
+use autoac_tensor::{Csr, Tensor};
+use rand::Rng;
+
+use crate::ops::{CompletionOp, CompletionOps};
+
+/// Square trainable transform (the paper's per-op `W`).
+pub struct Transform {
+    /// `(d, d)` weight.
+    pub w: Tensor,
+}
+
+impl Transform {
+    /// Xavier-initialized square transform.
+    pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
+        Self { w: Tensor::param(autoac_tensor::init::xavier_uniform(dim, dim, rng)) }
+    }
+
+    /// Applies the transform.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.w)
+    }
+}
+
+/// Returns a copy of `csr` with only the given rows kept (others emptied).
+pub fn restrict_rows(csr: &Csr, rows: &[u32]) -> Csr {
+    let keep: std::collections::HashSet<u32> = rows.iter().copied().collect();
+    let triplets = (0..csr.n_rows()).flat_map(|r| {
+        let is_kept = keep.contains(&(r as u32));
+        csr.row(r)
+            .filter_map(move |(c, v)| is_kept.then_some((r as u32, c, v)))
+            .collect::<Vec<_>>()
+    });
+    Csr::from_coo(csr.n_rows(), csr.n_cols(), triplets)
+}
+
+/// Completes the zero rows of `x0` with a *weighted mixture* of all ops
+/// (Eq. 5 after softmax/discretization has produced `weights`).
+///
+/// `weights` is `(N⁻, |O|)`; gradients flow into the weights, every op's
+/// parameters, and `x0`.
+pub fn complete_mixture(ops: &CompletionOps, x0: &Tensor, weights: &Tensor) -> Tensor {
+    let ctx = ops.ctx();
+    assert_eq!(
+        weights.shape(),
+        (ctx.num_missing(), CompletionOp::ALL.len()),
+        "complete_mixture: weight shape mismatch"
+    );
+    if ctx.num_missing() == 0 {
+        return x0.clone();
+    }
+    let outputs = ops.all_op_outputs(x0);
+    let mut completed: Option<Tensor> = None;
+    for (o, out) in outputs.iter().enumerate() {
+        let w = weights.slice_cols(o, 1); // (N⁻, 1)
+        let term = out.mul_col_vec(&w);
+        completed = Some(match completed {
+            Some(acc) => acc.add(&term),
+            None => term,
+        });
+    }
+    let completed = completed.expect("|O| > 0");
+    x0.add(&completed.scatter_add_rows(&ctx.missing, ctx.num_nodes))
+}
+
+/// Completes the zero rows of `x0` with one discrete op per `V⁻` node
+/// (the lower-level optimization of Algorithm 1: only *activated* ops are
+/// evaluated — ops assigned to no node cost nothing).
+pub fn complete_assigned(ops: &CompletionOps, x0: &Tensor, assignment: &[CompletionOp]) -> Tensor {
+    let ctx = ops.ctx();
+    assert_eq!(
+        assignment.len(),
+        ctx.num_missing(),
+        "complete_assigned: assignment length mismatch"
+    );
+    if ctx.num_missing() == 0 {
+        return x0.clone();
+    }
+    let mut result = x0.clone();
+    for &op in &CompletionOp::ALL {
+        // Positions (within the missing list) assigned to this op.
+        let positions: Vec<u32> = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == op).then_some(i as u32))
+            .collect();
+        if positions.is_empty() {
+            continue;
+        }
+        let out = ops.op_output(op, x0); // (N⁻, d)
+        let rows = out.gather_rows(&positions);
+        let globals: Vec<u32> = positions.iter().map(|&p| ctx.missing[p as usize]).collect();
+        result = result.add(&rows.scatter_add_rows(&globals, ctx.num_nodes));
+    }
+    result
+}
+
+/// Completes with a single op for every `V⁻` node (the Table VI/VII
+/// single-operation baselines).
+pub fn complete_single(ops: &CompletionOps, x0: &Tensor, op: CompletionOp) -> Tensor {
+    let n = ops.ctx().num_missing();
+    complete_assigned(ops, x0, &vec![op; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::CompletionContext;
+    use autoac_graph::HeteroGraph;
+    use autoac_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CompletionOps, Tensor) {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("m", 3);
+        let a = b.add_node_type("a", 2);
+        let e = b.add_edge_type("m-a", m, a);
+        b.add_edge(e, 0, 3);
+        b.add_edge(e, 1, 3);
+        b.add_edge(e, 2, 4);
+        let g = b.build();
+        let has = vec![true, true, true, false, false];
+        let ctx = CompletionContext::build(&g, &has);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ops = CompletionOps::new(ctx, 3, &mut rng);
+        let x0 = Tensor::constant(Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[3.0, 2.0, 0.0],
+            &[5.0, 5.0, 1.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]));
+        (ops, x0)
+    }
+
+    #[test]
+    fn mixture_preserves_attributed_rows() {
+        let (ops, x0) = setup();
+        let w = Tensor::constant(Matrix::full(2, 4, 0.25));
+        let out = complete_mixture(&ops, &x0, &w);
+        let v = out.to_matrix();
+        let x = x0.to_matrix();
+        for r in 0..3 {
+            assert_eq!(v.row(r), x.row(r), "attributed row {r} must be unchanged");
+        }
+        // Missing rows are filled.
+        assert!(v.row(3).iter().any(|&z| z != 0.0));
+    }
+
+    #[test]
+    fn one_hot_mixture_equals_assignment() {
+        let (ops, x0) = setup();
+        // Node 3 → Mean (col 0), node 4 → OneHot (col 3).
+        let w = Tensor::constant(Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]));
+        let via_mixture = complete_mixture(&ops, &x0, &w).to_matrix();
+        let via_assign =
+            complete_assigned(&ops, &x0, &[CompletionOp::Mean, CompletionOp::OneHot]).to_matrix();
+        for (a, b) in via_mixture.data().iter().zip(via_assign.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn single_op_completion_matches_uniform_assignment() {
+        let (ops, x0) = setup();
+        let single = complete_single(&ops, &x0, CompletionOp::Gcn).to_matrix();
+        let assigned =
+            complete_assigned(&ops, &x0, &[CompletionOp::Gcn, CompletionOp::Gcn]).to_matrix();
+        assert_eq!(single, assigned);
+    }
+
+    #[test]
+    fn mixture_weights_receive_gradients() {
+        let (ops, x0) = setup();
+        let w = Tensor::param(Matrix::full(2, 4, 0.25));
+        complete_mixture(&ops, &x0, &w).square().sum().backward();
+        let g = w.grad().expect("weights must get a gradient");
+        assert!(g.frob() > 0.0);
+    }
+
+    #[test]
+    fn assigned_only_touches_used_op_params() {
+        let (ops, x0) = setup();
+        let out = complete_assigned(&ops, &x0, &[CompletionOp::Mean, CompletionOp::Mean]);
+        out.square().sum().backward();
+        assert!(
+            ops.op_params(CompletionOp::Mean)[0].grad().is_some(),
+            "used op must get grads"
+        );
+        assert!(
+            ops.op_params(CompletionOp::Ppnp)[0].grad().is_none(),
+            "unused op must not be evaluated"
+        );
+        assert!(ops.op_params(CompletionOp::OneHot)[0].grad().is_none());
+    }
+
+    #[test]
+    fn restrict_rows_empties_other_rows() {
+        let csr = Csr::from_coo(3, 3, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]);
+        let r = restrict_rows(&csr, &[1]);
+        assert_eq!(r.row_nnz(0), 0);
+        assert_eq!(r.row_nnz(1), 1);
+        assert_eq!(r.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn empty_missing_set_is_identity() {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("m", 2);
+        let e = b.add_edge_type("m-m", m, m);
+        b.add_edge(e, 0, 1);
+        let g = b.build();
+        let ctx = CompletionContext::build(&g, &[true, true]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ops = CompletionOps::new(ctx, 2, &mut rng);
+        let x0 = Tensor::constant(Matrix::ones(2, 2));
+        let w = Tensor::constant(Matrix::zeros(0, 4));
+        let out = complete_mixture(&ops, &x0, &w);
+        assert_eq!(out.to_matrix(), x0.to_matrix());
+        let out2 = complete_assigned(&ops, &x0, &[]);
+        assert_eq!(out2.to_matrix(), x0.to_matrix());
+    }
+}

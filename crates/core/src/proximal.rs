@@ -1,0 +1,69 @@
+//! Proximal projections for the constrained completion parameters
+//! (paper §IV-C): `C₁ = {α : ‖α‖₀ = 1}` (one active op per row) and
+//! `C₂ = {α : 0 ≤ αᵢ ≤ 1}` (box constraint).
+
+use autoac_tensor::Matrix;
+
+/// `prox_C1`: row-wise projection onto one-hot vectors — keeps each row's
+/// maximum entry as 1, zeroing the rest (ties break to the lowest index).
+pub fn prox_c1(alpha: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(alpha.rows(), alpha.cols());
+    for r in 0..alpha.rows() {
+        out.set(r, alpha.argmax_row(r), 1.0);
+    }
+    out
+}
+
+/// `prox_C2`: elementwise clamp onto `[0, 1]`.
+pub fn prox_c2(alpha: &Matrix) -> Matrix {
+    alpha.map(|v| v.clamp(0.0, 1.0))
+}
+
+/// Row-wise argmax (the discrete operation choice per row).
+pub fn argmax_rows(alpha: &Matrix) -> Vec<usize> {
+    (0..alpha.rows()).map(|r| alpha.argmax_row(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prox_c1_selects_row_maxima() {
+        let a = Matrix::from_rows(&[&[0.1, 0.7, 0.2], &[0.9, 0.05, 0.05]]);
+        let p = prox_c1(&a);
+        assert_eq!(p, Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]]));
+    }
+
+    #[test]
+    fn prox_c1_rows_are_one_hot() {
+        let a = Matrix::from_rows(&[&[0.5, 0.5], &[-1.0, -2.0]]);
+        let p = prox_c1(&a);
+        for r in 0..p.rows() {
+            let ones = p.row(r).iter().filter(|&&v| v == 1.0).count();
+            let zeros = p.row(r).iter().filter(|&&v| v == 0.0).count();
+            assert_eq!((ones, zeros), (1, p.cols() - 1), "row {r} not one-hot");
+        }
+    }
+
+    #[test]
+    fn prox_c2_clamps() {
+        let a = Matrix::from_rows(&[&[-0.5, 0.5], &[1.5, 1.0]]);
+        assert_eq!(prox_c2(&a), Matrix::from_rows(&[&[0.0, 0.5], &[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn proposition1_composition() {
+        // prox_C(z) = prox_C2(prox_C1(z)): for any z the composition is a
+        // one-hot row, which lies in C = C1 ∩ C2.
+        let z = Matrix::from_rows(&[&[2.5, -3.0, 0.1]]);
+        let p = prox_c2(&prox_c1(&z));
+        assert_eq!(p, Matrix::from_rows(&[&[1.0, 0.0, 0.0]]));
+    }
+
+    #[test]
+    fn argmax_rows_matches_prox_c1() {
+        let a = Matrix::from_rows(&[&[0.1, 0.7, 0.2], &[0.9, 0.05, 0.05]]);
+        assert_eq!(argmax_rows(&a), vec![1, 0]);
+    }
+}

@@ -1,0 +1,575 @@
+//! The AutoAC differentiable completion-operation search (paper §IV-B/C):
+//! bi-level optimization with a first-order approximation, NASP-style
+//! discrete constraints solved by proximal iteration (Algorithm 1), and the
+//! auxiliary modularity clustering that shrinks α from `N⁻×|O|` to `M×|O|`.
+
+use std::time::Instant;
+
+use autoac_completion::{complete_assigned, complete_mixture, CompletionOp};
+use autoac_data::{Dataset, LinkSplit};
+use autoac_nn::GnnConfig;
+use autoac_tensor::{Adam, AdamConfig, Matrix, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::{kmeans, ClusterHead, ModularityContext};
+use crate::pipeline::{Backbone, CompletionMode, ForwardPipe, Pipeline};
+use crate::proximal::{argmax_rows, prox_c1, prox_c2};
+use crate::trainer::{
+    train_link_prediction, train_node_classification, ClsOutcome, LpOutcome, TrainConfig,
+};
+
+/// How `V⁻` nodes are grouped for the completion parameters α.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringMode {
+    /// Joint modularity clustering (the paper's method, Eq. 12).
+    GmoC,
+    /// No clustering: one α row per `V⁻` node ("w/o cluster" in Fig. 3).
+    NoCluster,
+    /// k-means on the hidden representations after every epoch ("EM").
+    Em,
+    /// k-means after a fixed warm-up of frozen random clusters
+    /// ("EM with warmup").
+    EmWarmup(usize),
+}
+
+/// AutoAC hyperparameters (paper §V-B defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct AutoAcConfig {
+    /// Number of clusters M.
+    pub clusters: usize,
+    /// Clustering-loss weight λ.
+    pub lambda: f32,
+    /// Learning rate for α (5e-3 in the paper).
+    pub alpha_lr: f32,
+    /// Weight decay for α (1e-5 in the paper).
+    pub alpha_wd: f32,
+    /// `true`: Algorithm 1 with discrete constraints (proximal iteration);
+    /// `false`: relaxed softmax-mixture search (the Table VIII ablation).
+    pub discrete: bool,
+    /// Clustering mode.
+    pub clustering: ClusteringMode,
+    /// Search epochs (each = one α step + one ω step).
+    pub search_epochs: usize,
+    /// Initial epochs that update only ω (α gradients are uninformative
+    /// while the GNN weights are still random — standard DARTS warm-up).
+    pub omega_warmup: usize,
+    /// ω optimization settings (also used for the retraining stage).
+    pub train: TrainConfig,
+}
+
+impl Default for AutoAcConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            lambda: 0.4,
+            alpha_lr: 5e-3,
+            alpha_wd: 1e-5,
+            discrete: true,
+            clustering: ClusteringMode::GmoC,
+            search_epochs: 40,
+            omega_warmup: 5,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Result of the search stage.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Searched completion op per `V⁻` node (aligned with
+    /// `Dataset::missing_nodes`).
+    pub assignment: Vec<CompletionOp>,
+    /// Cluster id per `V⁻` node.
+    pub cluster_of: Vec<u32>,
+    /// Final completion parameters α (`rows × |O|`).
+    pub alpha: Matrix,
+    /// Wall-clock seconds of the search stage.
+    pub search_seconds: f64,
+    /// Per-epoch trace of the clustering loss `L_GmoC` (Fig. 4).
+    pub gmoc_trace: Vec<f32>,
+    /// Ops histogram over `V⁻` (Fig. 5).
+    pub op_histogram: [usize; 4],
+}
+
+/// A task the search can optimize: losses on the train and validation
+/// splits given the model's `(N, out)` output block.
+pub trait SearchTask {
+    /// Training loss.
+    fn train_loss(&self, output: &Tensor, rng: &mut StdRng) -> Tensor;
+    /// Validation loss (drives the α updates).
+    fn val_loss(&self, output: &Tensor, rng: &mut StdRng) -> Tensor;
+}
+
+/// Node classification (cross-entropy on the HGB splits).
+pub struct ClassificationTask {
+    labels: Vec<u32>,
+    train: Vec<u32>,
+    val: Vec<u32>,
+}
+
+impl ClassificationTask {
+    /// Builds the task from a dataset.
+    pub fn new(data: &Dataset) -> Self {
+        Self {
+            labels: data.global_labels(),
+            train: data.split.train.clone(),
+            val: data.split.val.clone(),
+        }
+    }
+}
+
+impl SearchTask for ClassificationTask {
+    fn train_loss(&self, output: &Tensor, _rng: &mut StdRng) -> Tensor {
+        output.cross_entropy_rows(&self.labels, &self.train)
+    }
+
+    fn val_loss(&self, output: &Tensor, _rng: &mut StdRng) -> Tensor {
+        output.cross_entropy_rows(&self.labels, &self.val)
+    }
+}
+
+/// Link prediction (BCE on remaining edges vs. resampled negatives).
+pub struct LinkPredictionTask {
+    split: LinkSplit,
+    train_pos: Vec<(u32, u32)>,
+    val_pos: Vec<(u32, u32)>,
+}
+
+impl LinkPredictionTask {
+    /// Builds the task from a masked split (10% of remaining positives are
+    /// held out as the search-validation set).
+    pub fn new(split: &LinkSplit) -> Self {
+        let all: Vec<(u32, u32)> =
+            split.train_data.graph.edges_of_type(split.edge_type).to_vec();
+        let n_val = (all.len() / 10).max(1);
+        Self {
+            split: split.clone(),
+            val_pos: all[..n_val].to_vec(),
+            train_pos: all[n_val..].to_vec(),
+        }
+    }
+
+    fn loss_on(&self, output: &Tensor, pos: &[(u32, u32)], rng: &mut StdRng) -> Tensor {
+        let negs = autoac_data::sample_train_negatives(
+            &self.split.train_data,
+            self.split.edge_type,
+            pos.len(),
+            rng,
+        );
+        autoac_nn::lp::lp_loss(output, pos, &negs)
+    }
+}
+
+impl SearchTask for LinkPredictionTask {
+    fn train_loss(&self, output: &Tensor, rng: &mut StdRng) -> Tensor {
+        self.loss_on(output, &self.train_pos, rng)
+    }
+
+    fn val_loss(&self, output: &Tensor, rng: &mut StdRng) -> Tensor {
+        self.loss_on(output, &self.val_pos, rng)
+    }
+}
+
+/// Runs the AutoAC search stage and returns the discovered per-node
+/// completion operations.
+pub fn search(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    task: &dyn SearchTask,
+    seed: u64,
+) -> SearchOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipe = Pipeline::new(data, backbone, gnn_cfg, CompletionMode::Zero, &mut rng);
+    let n_minus = pipe.ops.ctx().num_missing();
+    if n_minus == 0 {
+        return SearchOutcome {
+            assignment: Vec::new(),
+            cluster_of: Vec::new(),
+            alpha: Matrix::zeros(0, CompletionOp::ALL.len()),
+            search_seconds: 0.0,
+            gmoc_trace: Vec::new(),
+            op_histogram: [0; 4],
+        };
+    }
+    let num_ops = CompletionOp::ALL.len();
+    let use_clusters = ac.clustering != ClusteringMode::NoCluster;
+    let alpha_rows = if use_clusters { ac.clusters } else { n_minus };
+
+    // α initialized uniformly inside C₂ with tiny symmetry-breaking noise.
+    let mut alpha_init = Matrix::full(alpha_rows, num_ops, 1.0 / num_ops as f32);
+    for v in alpha_init.data_mut() {
+        *v += rng.gen_range(-0.01..0.01);
+    }
+    let alpha = Tensor::param(alpha_init);
+    let mut alpha_opt =
+        Adam::new(vec![alpha.clone()], AdamConfig::with(ac.alpha_lr, ac.alpha_wd));
+
+    // Dry forward to size the clustering head.
+    let hidden_dim = {
+        let f = autoac_tensor::no_grad(|| pipe.forward(false, &mut rng));
+        f.hidden.shape().1
+    };
+    let head = ClusterHead::new(hidden_dim, ac.clusters.max(2), &mut rng);
+    let modularity = ModularityContext::build(&data.graph, ac.clusters.max(2));
+
+    // ω: encoder + all op params + backbone + clustering head.
+    let mut omega: Vec<Tensor> = pipe.encoder.params();
+    omega.extend(pipe.ops.params());
+    omega.extend(pipe.model.params());
+    if matches!(ac.clustering, ClusteringMode::GmoC) {
+        omega.extend(head.params());
+    }
+    let mut omega_opt =
+        Adam::new(omega.clone(), AdamConfig::with(ac.train.lr, ac.train.weight_decay));
+
+    // Initial clustering: random (refined during the search).
+    let missing = pipe.ops.ctx().missing.clone();
+    let mut cluster_of: Vec<u32> = if use_clusters {
+        (0..n_minus).map(|_| rng.gen_range(0..ac.clusters) as u32).collect()
+    } else {
+        (0..n_minus as u32).collect()
+    };
+
+    let mut gmoc_trace = Vec::with_capacity(ac.search_epochs);
+    // Track the discretized configuration with the best validation loss
+    // seen during the search; final-epoch noise can flip argmaxes into a
+    // poor assignment (standard NAS practice: report the best-val arch).
+    let mut best_val = f32::INFINITY;
+    let mut best_snapshot: Option<(Matrix, Vec<u32>)> = None;
+    let start = Instant::now();
+    for epoch in 0..ac.search_epochs {
+        // ------- Upper level: update α on the validation loss -----------
+        alpha_opt.zero_grad();
+        omega_opt.zero_grad(); // the α backward also touches ω; discard
+        if epoch >= ac.omega_warmup {
+            let x0 = pipe.x0();
+            let (weights_tensor, grad_target) = if ac.discrete {
+                // Alg. 1 line 3: discrete ᾱ = prox_C1(α); gradient taken
+                // w.r.t. ᾱ (a fresh leaf), then applied to the continuous α.
+                let abar = Tensor::param(prox_c1(&alpha.value()));
+                (abar.clone(), abar)
+            } else {
+                // Relaxed ablation: softmax mixture, gradient directly on α.
+                (alpha.softmax_rows(), alpha.clone())
+            };
+            let per_node = weights_tensor.gather_rows(&cluster_of);
+            let x = complete_mixture(&pipe.ops, &x0, &per_node);
+            let fwd = pipe.model.forward(&x, true, &mut rng);
+            let loss = task.val_loss(&fwd.output, &mut rng);
+            let val = loss.item();
+            if val < best_val {
+                best_val = val;
+                best_snapshot = Some((alpha.to_matrix(), cluster_of.clone()));
+            }
+            loss.backward();
+            if ac.discrete {
+                if let Some(g) = grad_target.grad() {
+                    alpha.accum_grad_public(&g);
+                }
+            }
+            alpha_opt.step();
+            if ac.discrete {
+                // Alg. 1 line 4: α ← prox_C2(α − ε∇).
+                alpha.update_value(|m| *m = prox_c2(m));
+            }
+        }
+
+        // ------- Lower level: update ω on the training loss -------------
+        omega_opt.zero_grad();
+        alpha.zero_grad();
+        let hidden = {
+            let x0 = pipe.x0();
+            let x = if ac.discrete {
+                // Alg. 1 lines 5–6: refined discrete choices; only
+                // activated ops are evaluated.
+                let assignment = derive_assignment(&alpha.value(), &cluster_of);
+                complete_assigned(&pipe.ops, &x0, &assignment)
+            } else {
+                let per_node = alpha.softmax_rows().gather_rows(&cluster_of);
+                complete_mixture(&pipe.ops, &x0, &per_node)
+            };
+            let fwd = pipe.model.forward(&x, true, &mut rng);
+            let mut loss = task.train_loss(&fwd.output, &mut rng);
+            if matches!(ac.clustering, ClusteringMode::GmoC) {
+                let c = head.assign_soft(&fwd.hidden);
+                let gmoc = modularity.loss(&c);
+                gmoc_trace.push(gmoc.item());
+                loss = loss.add(&gmoc.scale(ac.lambda));
+            }
+            loss.backward();
+            omega_opt.clip_grad_norm(5.0);
+            omega_opt.step();
+            fwd.hidden
+        };
+
+        // ------- Refresh the node → cluster map --------------------------
+        match ac.clustering {
+            ClusteringMode::GmoC => {
+                let hm = autoac_tensor::no_grad(|| {
+                    head.assign_hard(&hidden.gather_rows(&missing))
+                });
+                cluster_of = hm;
+            }
+            ClusteringMode::Em => {
+                cluster_of = kmeans_missing(&hidden, &missing, ac.clusters, &mut rng);
+            }
+            ClusteringMode::EmWarmup(warmup) => {
+                if epoch >= warmup {
+                    cluster_of = kmeans_missing(&hidden, &missing, ac.clusters, &mut rng);
+                }
+            }
+            ClusteringMode::NoCluster => {}
+        }
+    }
+    let search_seconds = start.elapsed().as_secs_f64();
+
+    let (final_alpha, final_clusters) = match best_snapshot {
+        Some((a, c)) => (a, c),
+        None => (alpha.to_matrix(), cluster_of.clone()),
+    };
+    let assignment = derive_assignment(&final_alpha, &final_clusters);
+    let mut op_histogram = [0usize; 4];
+    for a in &assignment {
+        op_histogram[a.index()] += 1;
+    }
+    SearchOutcome {
+        assignment,
+        cluster_of: final_clusters,
+        alpha: final_alpha,
+        search_seconds,
+        gmoc_trace,
+        op_histogram,
+    }
+}
+
+fn kmeans_missing(
+    hidden: &Tensor,
+    missing: &[u32],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    autoac_tensor::no_grad(|| {
+        let rows = hidden.value().gather_rows(missing);
+        kmeans(&rows, k, 20, rng)
+    })
+}
+
+/// Derives per-`V⁻`-node ops: each node takes the argmax op of its α row.
+pub fn derive_assignment(alpha: &Matrix, cluster_of: &[u32]) -> Vec<CompletionOp> {
+    let row_ops = argmax_rows(alpha);
+    cluster_of
+        .iter()
+        .map(|&c| CompletionOp::from_index(row_ops[c as usize]))
+        .collect()
+}
+
+/// Search + retrain outcome for node classification.
+#[derive(Debug, Clone)]
+pub struct AutoAcClsRun {
+    /// Search-stage result.
+    pub search: SearchOutcome,
+    /// Retraining (evaluation-stage) result.
+    pub outcome: ClsOutcome,
+}
+
+/// Full AutoAC for node classification: search, then retrain a fresh
+/// pipeline with the discovered assignment.
+pub fn run_autoac_classification(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    seed: u64,
+) -> AutoAcClsRun {
+    let task = ClassificationTask::new(data);
+    let search_out = search(data, backbone, gnn_cfg, ac, &task, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let pipe = Pipeline::new(
+        data,
+        backbone,
+        gnn_cfg,
+        CompletionMode::Assigned(search_out.assignment.clone()),
+        &mut rng,
+    );
+    let outcome = train_node_classification(&pipe, data, &ac.train, seed ^ 0x7e7e);
+    AutoAcClsRun { search: search_out, outcome }
+}
+
+/// Search + retrain outcome for link prediction.
+#[derive(Debug, Clone)]
+pub struct AutoAcLpRun {
+    /// Search-stage result.
+    pub search: SearchOutcome,
+    /// Retraining (evaluation-stage) result.
+    pub outcome: LpOutcome,
+}
+
+/// Full AutoAC for link prediction on a masked split.
+pub fn run_autoac_link_prediction(
+    split: &LinkSplit,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    seed: u64,
+) -> AutoAcLpRun {
+    let task = LinkPredictionTask::new(split);
+    let search_out = search(&split.train_data, backbone, gnn_cfg, ac, &task, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let pipe = Pipeline::new(
+        &split.train_data,
+        backbone,
+        gnn_cfg,
+        CompletionMode::Assigned(search_out.assignment.clone()),
+        &mut rng,
+    );
+    let outcome = train_link_prediction(&pipe, split, &ac.train, seed ^ 0x7e7e);
+    AutoAcLpRun { search: search_out, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoac_data::{presets, synth};
+
+    fn tiny_imdb() -> Dataset {
+        synth::generate(&presets::imdb(), synth::Scale::Tiny, 0)
+    }
+
+    fn small_cfg(data: &Dataset) -> GnnConfig {
+        GnnConfig {
+            in_dim: 16,
+            hidden: 16,
+            out_dim: data.num_classes,
+            layers: 2,
+            dropout: 0.2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn search_produces_valid_assignment() {
+        let data = tiny_imdb();
+        let gnn_cfg = small_cfg(&data);
+        let ac = AutoAcConfig {
+            clusters: 4,
+            search_epochs: 6,
+            train: TrainConfig { epochs: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::Gcn, &gnn_cfg, &ac, &task, 0);
+        assert_eq!(out.assignment.len(), data.missing_nodes().len());
+        assert_eq!(out.cluster_of.len(), out.assignment.len());
+        assert!(out.cluster_of.iter().all(|&c| c < 4));
+        assert_eq!(out.alpha.shape(), (4, 4));
+        // α stays inside C₂.
+        assert!(out.alpha.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(out.op_histogram.iter().sum::<usize>(), out.assignment.len());
+        assert_eq!(out.gmoc_trace.len(), 6);
+        assert!(out.search_seconds > 0.0);
+    }
+
+    #[test]
+    fn gmoc_trace_decreases() {
+        let data = tiny_imdb();
+        let gnn_cfg = small_cfg(&data);
+        let ac = AutoAcConfig {
+            clusters: 4,
+            search_epochs: 15,
+            train: TrainConfig { epochs: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::Gcn, &gnn_cfg, &ac, &task, 1);
+        let first: f32 = out.gmoc_trace[..3].iter().sum::<f32>() / 3.0;
+        let last: f32 = out.gmoc_trace[out.gmoc_trace.len() - 3..].iter().sum::<f32>() / 3.0;
+        assert!(
+            last < first + 0.05,
+            "clustering loss should not increase: {first} -> {last} ({:?})",
+            out.gmoc_trace
+        );
+    }
+
+    #[test]
+    fn no_cluster_mode_has_per_node_alpha() {
+        let data = tiny_imdb();
+        let gnn_cfg = small_cfg(&data);
+        let ac = AutoAcConfig {
+            clustering: ClusteringMode::NoCluster,
+            search_epochs: 3,
+            train: TrainConfig { epochs: 3, ..Default::default() },
+            ..Default::default()
+        };
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::Gcn, &gnn_cfg, &ac, &task, 2);
+        let n_minus = data.missing_nodes().len();
+        assert_eq!(out.alpha.rows(), n_minus);
+        assert_eq!(out.cluster_of, (0..n_minus as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixture_mode_runs_without_discrete_constraints() {
+        let data = tiny_imdb();
+        let gnn_cfg = small_cfg(&data);
+        let ac = AutoAcConfig {
+            discrete: false,
+            clusters: 4,
+            search_epochs: 4,
+            train: TrainConfig { epochs: 3, ..Default::default() },
+            ..Default::default()
+        };
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::Gcn, &gnn_cfg, &ac, &task, 3);
+        assert_eq!(out.assignment.len(), data.missing_nodes().len());
+    }
+
+    #[test]
+    fn full_run_beats_chance() {
+        let data = tiny_imdb();
+        let gnn_cfg = small_cfg(&data);
+        let ac = AutoAcConfig {
+            clusters: 4,
+            search_epochs: 8,
+            train: TrainConfig { epochs: 50, patience: 50, ..Default::default() },
+            ..Default::default()
+        };
+        let run = run_autoac_classification(&data, Backbone::Gcn, &gnn_cfg, &ac, 4);
+        let chance = 1.0 / data.num_classes as f64;
+        assert!(
+            run.outcome.micro_f1 > chance + 0.15,
+            "micro-f1 {:.3} vs chance {chance:.3}",
+            run.outcome.micro_f1
+        );
+    }
+
+    #[test]
+    fn derive_assignment_maps_clusters() {
+        let alpha = Matrix::from_rows(&[
+            &[0.9, 0.0, 0.1, 0.0], // cluster 0 → Mean
+            &[0.0, 0.0, 0.0, 1.0], // cluster 1 → OneHot
+        ]);
+        let assign = derive_assignment(&alpha, &[1, 0, 1]);
+        assert_eq!(
+            assign,
+            vec![CompletionOp::OneHot, CompletionOp::Mean, CompletionOp::OneHot]
+        );
+    }
+
+    #[test]
+    fn empty_missing_set_short_circuits() {
+        let mut data = tiny_imdb();
+        // Give every type raw attributes.
+        for t in 0..data.graph.num_node_types() {
+            data = data.with_onehot_features(t);
+        }
+        let gnn_cfg = small_cfg(&data);
+        let ac = AutoAcConfig::default();
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::Gcn, &gnn_cfg, &ac, &task, 5);
+        assert!(out.assignment.is_empty());
+        assert_eq!(out.search_seconds, 0.0);
+    }
+}

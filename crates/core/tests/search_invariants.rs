@@ -1,0 +1,165 @@
+//! Invariants of the AutoAC search machinery that must hold regardless of
+//! data, seed, or configuration.
+
+use autoac_completion::CompletionOp;
+use autoac_core::{
+    search, AutoAcConfig, Backbone, ClassificationTask, ClusteringMode, TrainConfig,
+};
+use autoac_data::{presets, synth, Dataset, Scale};
+use autoac_nn::GnnConfig;
+
+fn tiny(seed: u64) -> Dataset {
+    synth::generate(&presets::imdb(), Scale::Tiny, seed)
+}
+
+fn cfg(data: &Dataset) -> GnnConfig {
+    GnnConfig {
+        in_dim: 16,
+        hidden: 16,
+        out_dim: data.num_classes,
+        layers: 2,
+        dropout: 0.2,
+        ..Default::default()
+    }
+}
+
+fn quick_ac(clustering: ClusteringMode, discrete: bool) -> AutoAcConfig {
+    AutoAcConfig {
+        clusters: 4,
+        clustering,
+        discrete,
+        search_epochs: 6,
+        omega_warmup: 2,
+        train: TrainConfig { epochs: 4, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn alpha_stays_in_constraint_set_c2() {
+    // After every configuration of the search, α must lie in [0, 1]^d —
+    // prox_C2 is applied after every update.
+    for (mode, discrete) in [
+        (ClusteringMode::GmoC, true),
+        (ClusteringMode::NoCluster, true),
+        (ClusteringMode::Em, true),
+        (ClusteringMode::EmWarmup(2), true),
+    ] {
+        let data = tiny(0);
+        let task = ClassificationTask::new(&data);
+        let out = search(&data, Backbone::Gcn, &cfg(&data), &quick_ac(mode, discrete), &task, 0);
+        assert!(
+            out.alpha.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "{mode:?}: alpha escaped C2"
+        );
+    }
+}
+
+#[test]
+fn assignment_is_consistent_with_alpha_argmax() {
+    let data = tiny(1);
+    let task = ClassificationTask::new(&data);
+    let out = search(
+        &data,
+        Backbone::Gcn,
+        &cfg(&data),
+        &quick_ac(ClusteringMode::GmoC, true),
+        &task,
+        1,
+    );
+    for (pos, &cluster) in out.cluster_of.iter().enumerate() {
+        let expect = CompletionOp::from_index(out.alpha.argmax_row(cluster as usize));
+        assert_eq!(out.assignment[pos], expect, "node {pos} disagrees with its cluster row");
+    }
+}
+
+#[test]
+fn histogram_sums_to_missing_count() {
+    let data = tiny(2);
+    let task = ClassificationTask::new(&data);
+    for discrete in [true, false] {
+        let out = search(
+            &data,
+            Backbone::Gcn,
+            &cfg(&data),
+            &quick_ac(ClusteringMode::GmoC, discrete),
+            &task,
+            2,
+        );
+        assert_eq!(
+            out.op_histogram.iter().sum::<usize>(),
+            data.missing_nodes().len(),
+            "discrete={discrete}"
+        );
+    }
+}
+
+#[test]
+fn cluster_ids_stay_in_range_for_every_mode() {
+    let data = tiny(3);
+    let task = ClassificationTask::new(&data);
+    for mode in [
+        ClusteringMode::GmoC,
+        ClusteringMode::Em,
+        ClusteringMode::EmWarmup(2),
+    ] {
+        let out = search(&data, Backbone::Gcn, &cfg(&data), &quick_ac(mode, true), &task, 3);
+        assert!(out.cluster_of.iter().all(|&c| c < 4), "{mode:?}");
+    }
+}
+
+#[test]
+fn gmoc_trace_only_recorded_for_gmoc_mode() {
+    let data = tiny(4);
+    let task = ClassificationTask::new(&data);
+    let gmoc = search(
+        &data,
+        Backbone::Gcn,
+        &cfg(&data),
+        &quick_ac(ClusteringMode::GmoC, true),
+        &task,
+        4,
+    );
+    assert_eq!(gmoc.gmoc_trace.len(), 6);
+    let em = search(
+        &data,
+        Backbone::Gcn,
+        &cfg(&data),
+        &quick_ac(ClusteringMode::Em, true),
+        &task,
+        4,
+    );
+    assert!(em.gmoc_trace.is_empty());
+}
+
+#[test]
+fn warmup_longer_than_search_never_updates_alpha() {
+    let data = tiny(5);
+    let task = ClassificationTask::new(&data);
+    let mut ac = quick_ac(ClusteringMode::GmoC, true);
+    ac.omega_warmup = 100; // > search_epochs
+    let out = search(&data, Backbone::Gcn, &cfg(&data), &ac, &task, 5);
+    // α never moved: every row still near-uniform (within the init noise),
+    // so no op dominates by more than the 0.02 noise band.
+    for r in 0..out.alpha.rows() {
+        let row = out.alpha.row(r);
+        let max = row.iter().cloned().fold(f32::MIN, f32::max);
+        let min = row.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(max - min < 0.05, "α moved during pure warm-up: {row:?}");
+    }
+}
+
+#[test]
+fn search_time_is_reported() {
+    let data = tiny(6);
+    let task = ClassificationTask::new(&data);
+    let out = search(
+        &data,
+        Backbone::Gcn,
+        &cfg(&data),
+        &quick_ac(ClusteringMode::GmoC, true),
+        &task,
+        6,
+    );
+    assert!(out.search_seconds > 0.0 && out.search_seconds < 300.0);
+}

@@ -1,0 +1,196 @@
+//! Dataset (de)serialization: save a generated dataset to disk and reload
+//! it bit-exactly, so an experiment can pin its inputs instead of relying
+//! on generator determinism across library versions.
+//!
+//! The format is a single JSON document (readable, diffable; the datasets
+//! here are small enough that a binary format isn't warranted).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use autoac_graph::HeteroGraph;
+use autoac_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Split};
+
+#[derive(Serialize, Deserialize)]
+struct MatrixRepr {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl From<&Matrix> for MatrixRepr {
+    fn from(m: &Matrix) -> Self {
+        Self { rows: m.rows(), cols: m.cols(), data: m.data().to_vec() }
+    }
+}
+
+impl MatrixRepr {
+    fn into_matrix(self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct NodeTypeRepr {
+    name: String,
+    count: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EdgeTypeRepr {
+    name: String,
+    src: usize,
+    dst: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+/// Serializable snapshot of a [`Dataset`].
+#[derive(Serialize, Deserialize)]
+pub struct DatasetRepr {
+    name: String,
+    node_types: Vec<NodeTypeRepr>,
+    edge_types: Vec<EdgeTypeRepr>,
+    features: Vec<Option<MatrixRepr>>,
+    labels: Vec<u32>,
+    num_classes: usize,
+    target_type: usize,
+    split_train: Vec<u32>,
+    split_val: Vec<u32>,
+    split_test: Vec<u32>,
+    lp_edge_type: Option<usize>,
+}
+
+impl From<&Dataset> for DatasetRepr {
+    fn from(d: &Dataset) -> Self {
+        let g = &d.graph;
+        Self {
+            name: d.name.clone(),
+            node_types: (0..g.num_node_types())
+                .map(|t| NodeTypeRepr {
+                    name: g.node_type_name(t).to_string(),
+                    count: g.num_nodes_of_type(t),
+                })
+                .collect(),
+            edge_types: (0..g.num_edge_types())
+                .map(|e| {
+                    let et = g.edge_type(e);
+                    EdgeTypeRepr {
+                        name: et.name.clone(),
+                        src: et.src,
+                        dst: et.dst,
+                        edges: g.edges_of_type(e).to_vec(),
+                    }
+                })
+                .collect(),
+            features: d.features.iter().map(|f| f.as_ref().map(MatrixRepr::from)).collect(),
+            labels: d.labels.clone(),
+            num_classes: d.num_classes,
+            target_type: d.target_type,
+            split_train: d.split.train.clone(),
+            split_val: d.split.val.clone(),
+            split_test: d.split.test.clone(),
+            lp_edge_type: d.lp_edge_type,
+        }
+    }
+}
+
+impl DatasetRepr {
+    /// Rebuilds the in-memory dataset.
+    pub fn into_dataset(self) -> Dataset {
+        let mut b = HeteroGraph::builder();
+        for nt in &self.node_types {
+            b.add_node_type(nt.name.clone(), nt.count);
+        }
+        for et in &self.edge_types {
+            let id = b.add_edge_type(et.name.clone(), et.src, et.dst);
+            for &(s, d) in &et.edges {
+                b.add_edge(id, s, d);
+            }
+        }
+        Dataset {
+            name: self.name,
+            graph: b.build(),
+            features: self
+                .features
+                .into_iter()
+                .map(|f| f.map(MatrixRepr::into_matrix))
+                .collect(),
+            labels: self.labels,
+            num_classes: self.num_classes,
+            target_type: self.target_type,
+            split: Split { train: self.split_train, val: self.split_val, test: self.split_test },
+            lp_edge_type: self.lp_edge_type,
+        }
+    }
+}
+
+/// Saves a dataset as JSON.
+pub fn save(data: &Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let repr = DatasetRepr::from(data);
+    let json = serde_json::to_string(&repr)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())
+}
+
+/// Loads a dataset saved by [`save`].
+pub fn load(path: impl AsRef<Path>) -> std::io::Result<Dataset> {
+    let mut buf = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut buf)?;
+    let repr: DatasetRepr = serde_json::from_str(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(repr.into_dataset())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{presets, synth};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = synth::generate(&presets::imdb(), synth::Scale::Tiny, 42);
+        let dir = std::env::temp_dir().join("autoac_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("imdb_tiny.json");
+        save(&d, &path).unwrap();
+        let loaded = load(&path).unwrap();
+
+        assert_eq!(loaded.name, d.name);
+        assert_eq!(loaded.graph.num_nodes(), d.graph.num_nodes());
+        assert_eq!(loaded.graph.num_edges(), d.graph.num_edges());
+        for e in 0..d.graph.num_edge_types() {
+            assert_eq!(loaded.graph.edges_of_type(e), d.graph.edges_of_type(e));
+        }
+        assert_eq!(loaded.labels, d.labels);
+        assert_eq!(loaded.split.train, d.split.train);
+        assert_eq!(loaded.split.test, d.split.test);
+        assert_eq!(loaded.lp_edge_type, d.lp_edge_type);
+        for (a, b) in loaded.features.iter().zip(&d.features) {
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(x.data(), y.data()),
+                (None, None) => {}
+                _ => panic!("feature presence mismatch"),
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("autoac_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json at all").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load("/nonexistent/definitely/missing.json").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Link-prediction edge masking and negative sampling (HGB protocol:
+//! mask a fraction of target-type edges, sample random negatives).
+
+use autoac_graph::EdgeTypeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// A link-prediction split: the training graph has the positive test edges
+/// removed; evaluation scores `test_pos` against `test_neg`.
+#[derive(Debug, Clone)]
+pub struct LinkSplit {
+    /// Dataset whose graph lacks the masked edges.
+    pub train_data: Dataset,
+    /// The edge type being predicted.
+    pub edge_type: EdgeTypeId,
+    /// Held-out positive edges.
+    pub test_pos: Vec<(u32, u32)>,
+    /// Sampled negative edges (same count as `test_pos`).
+    pub test_neg: Vec<(u32, u32)>,
+}
+
+/// Masks `rate` of the dataset's LP-target edges and samples an equal
+/// number of negative (non-)edges uniformly over the valid type pair.
+///
+/// # Panics
+/// Panics if the dataset declares no LP edge type.
+pub fn mask_edges(data: &Dataset, rate: f64, rng: &mut impl Rng) -> LinkSplit {
+    let etype = data.lp_edge_type.expect("dataset has no link-prediction edge type");
+    mask_edges_of_type(data, etype, rate, rng)
+}
+
+/// [`mask_edges`] with an explicit edge type.
+pub fn mask_edges_of_type(
+    data: &Dataset,
+    etype: EdgeTypeId,
+    rate: f64,
+    rng: &mut impl Rng,
+) -> LinkSplit {
+    assert!((0.0..1.0).contains(&rate), "mask rate must be in [0, 1)");
+    let edges = data.graph.edges_of_type(etype);
+    let n = edges.len();
+    let n_mask = ((n as f64) * rate).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let masked: std::collections::HashSet<usize> = order[..n_mask].iter().copied().collect();
+    let keep: Vec<bool> = (0..n).map(|i| !masked.contains(&i)).collect();
+    let test_pos: Vec<(u32, u32)> =
+        order[..n_mask].iter().map(|&i| edges[i]).collect();
+
+    // Negative sampling: uniform over the (src-type × dst-type) rectangle,
+    // rejecting existing edges (in either the kept or masked set).
+    let existing: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let et = data.graph.edge_type(etype);
+    let src_range = data.graph.nodes_of_type(et.src);
+    let dst_range = data.graph.nodes_of_type(et.dst);
+    let mut test_neg = Vec::with_capacity(n_mask);
+    let mut guard = 0usize;
+    while test_neg.len() < n_mask {
+        let s = rng.gen_range(src_range.clone()) as u32;
+        let d = rng.gen_range(dst_range.clone()) as u32;
+        guard += 1;
+        assert!(guard < 200 * n_mask.max(1) + 1000, "negative sampling stalled");
+        if s != d && !existing.contains(&(s, d)) {
+            test_neg.push((s, d));
+        }
+    }
+
+    let mut train_data = data.clone();
+    train_data.graph = data.graph.without_edges(etype, &keep);
+    LinkSplit { train_data, edge_type: etype, test_pos, test_neg }
+}
+
+/// Samples `count` training negatives for contrastive LP training, avoiding
+/// all currently present edges of `etype` in `data`'s graph.
+pub fn sample_train_negatives(
+    data: &Dataset,
+    etype: EdgeTypeId,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<(u32, u32)> {
+    let existing: std::collections::HashSet<(u32, u32)> =
+        data.graph.edges_of_type(etype).iter().copied().collect();
+    let et = data.graph.edge_type(etype);
+    let src_range = data.graph.nodes_of_type(et.src);
+    let dst_range = data.graph.nodes_of_type(et.dst);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count {
+        let s = rng.gen_range(src_range.clone()) as u32;
+        let d = rng.gen_range(dst_range.clone()) as u32;
+        guard += 1;
+        assert!(guard < 200 * count.max(1) + 1000, "negative sampling stalled");
+        if s != d && !existing.contains(&(s, d)) {
+            out.push((s, d));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::synth::{generate, Scale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masking_removes_exactly_rate() {
+        let d = generate(&presets::imdb(), Scale::Tiny, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let before = d.graph.edges_of_type(2).len();
+        let split = mask_edges(&d, 0.10, &mut rng);
+        let after = split.train_data.graph.edges_of_type(2).len();
+        assert_eq!(before - after, split.test_pos.len());
+        let want = (before as f64 * 0.10).round() as usize;
+        assert_eq!(split.test_pos.len(), want);
+        assert_eq!(split.test_neg.len(), split.test_pos.len());
+    }
+
+    #[test]
+    fn negatives_are_non_edges_with_correct_types() {
+        let d = generate(&presets::lastfm(), Scale::Tiny, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = mask_edges(&d, 0.2, &mut rng);
+        let existing: std::collections::HashSet<_> =
+            d.graph.edges_of_type(0).iter().copied().collect();
+        let et = d.graph.edge_type(0);
+        for &(s, dd) in &split.test_neg {
+            assert!(!existing.contains(&(s, dd)), "negative ({s},{dd}) is a real edge");
+            assert!(d.graph.nodes_of_type(et.src).contains(&(s as usize)));
+            assert!(d.graph.nodes_of_type(et.dst).contains(&(dd as usize)));
+        }
+    }
+
+    #[test]
+    fn positives_are_removed_from_training_graph() {
+        let d = generate(&presets::imdb(), Scale::Tiny, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let split = mask_edges(&d, 0.3, &mut rng);
+        let remaining: std::collections::HashSet<_> =
+            split.train_data.graph.edges_of_type(2).iter().copied().collect();
+        for p in &split.test_pos {
+            assert!(!remaining.contains(p), "masked edge {p:?} still present");
+        }
+    }
+
+    #[test]
+    fn other_edge_types_untouched() {
+        let d = generate(&presets::imdb(), Scale::Tiny, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = mask_edges(&d, 0.3, &mut rng);
+        assert_eq!(
+            split.train_data.graph.edges_of_type(0),
+            d.graph.edges_of_type(0)
+        );
+        assert_eq!(
+            split.train_data.graph.edges_of_type(1),
+            d.graph.edges_of_type(1)
+        );
+    }
+
+    #[test]
+    fn train_negative_sampler_avoids_edges() {
+        let d = generate(&presets::lastfm(), Scale::Tiny, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let negs = sample_train_negatives(&d, 0, 50, &mut rng);
+        assert_eq!(negs.len(), 50);
+        let existing: std::collections::HashSet<_> =
+            d.graph.edges_of_type(0).iter().copied().collect();
+        assert!(negs.iter().all(|e| !existing.contains(e)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests over the dataset generator and masking machinery.
+
+use autoac_data::{mask_edges, presets, synth, Scale};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_datasets_are_internally_consistent(
+        seed in 0u64..1000,
+        which in 0usize..4,
+    ) {
+        let spec = presets::all().swap_remove(which);
+        let d = synth::generate(&spec, Scale::Tiny, seed);
+        // Feature matrices match node counts.
+        for (t, f) in d.features.iter().enumerate() {
+            if let Some(m) = f {
+                prop_assert_eq!(m.rows(), d.graph.num_nodes_of_type(t));
+                prop_assert!(m.check_finite().is_ok());
+            }
+        }
+        // Labels in range; split covers exactly the target nodes.
+        if d.num_classes > 0 {
+            prop_assert_eq!(d.labels.len(), d.graph.num_nodes_of_type(d.target_type));
+            prop_assert!(d.labels.iter().all(|&l| (l as usize) < d.num_classes));
+            let range = d.graph.nodes_of_type(d.target_type);
+            let mut all: Vec<u32> = d
+                .split
+                .train
+                .iter()
+                .chain(&d.split.val)
+                .chain(&d.split.test)
+                .copied()
+                .collect();
+            all.sort_unstable();
+            let want: Vec<u32> = range.map(|v| v as u32).collect();
+            prop_assert_eq!(all, want);
+        }
+        // has_attr agrees with features.
+        let has = d.has_attr();
+        for (t, f) in d.features.iter().enumerate() {
+            for v in d.graph.nodes_of_type(t) {
+                prop_assert_eq!(has[v], f.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_no_duplicate_edges(seed in 0u64..200) {
+        let d = synth::generate(&presets::imdb(), Scale::Tiny, seed);
+        for e in 0..d.graph.num_edge_types() {
+            let edges = d.graph.edges_of_type(e);
+            let set: std::collections::HashSet<_> = edges.iter().collect();
+            prop_assert_eq!(set.len(), edges.len(), "duplicates in edge type {}", e);
+        }
+    }
+
+    #[test]
+    fn masking_is_leak_free(seed in 0u64..100, rate in 0.05f64..0.4) {
+        let d = synth::generate(&presets::lastfm(), Scale::Tiny, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = mask_edges(&d, rate, &mut rng);
+        let remaining: std::collections::HashSet<_> =
+            split.train_data.graph.edges_of_type(split.edge_type).iter().copied().collect();
+        for p in &split.test_pos {
+            prop_assert!(!remaining.contains(p), "positive {p:?} leaked into training");
+        }
+        for n in &split.test_neg {
+            prop_assert!(!remaining.contains(n), "negative {n:?} is an actual edge");
+        }
+        // Masked count within one edge of the requested rate.
+        let total = d.graph.edges_of_type(split.edge_type).len();
+        let want = (total as f64 * rate).round() as usize;
+        prop_assert_eq!(split.test_pos.len(), want);
+    }
+}
+
+#[test]
+fn scale_factor_is_monotone() {
+    let spec = presets::dblp();
+    let mut last = 0;
+    for scale in [Scale::Tiny, Scale::Small, Scale::Paper] {
+        let d = synth::generate(&spec, scale, 0);
+        assert!(d.graph.num_nodes() > last);
+        last = d.graph.num_nodes();
+    }
+}
+
+#[test]
+fn custom_scale_factor() {
+    let spec = presets::imdb();
+    let half = synth::generate(&spec, Scale::Factor(0.5), 0);
+    let full = synth::generate(&spec, Scale::Paper, 0);
+    let ratio = half.graph.num_nodes() as f64 / full.graph.num_nodes() as f64;
+    assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
+}

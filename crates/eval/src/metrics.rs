@@ -1,0 +1,209 @@
+//! Classification and ranking metrics used by the paper's evaluation:
+//! Macro-F1 / Micro-F1 (node classification), ROC-AUC and MRR (link
+//! prediction).
+
+/// Per-class and averaged F1 scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Scores {
+    /// Unweighted mean of per-class F1 (sensitive to rare classes).
+    pub macro_f1: f64,
+    /// F1 computed from pooled counts; equals accuracy in single-label
+    /// multi-class classification.
+    pub micro_f1: f64,
+}
+
+/// Computes Macro/Micro-F1 for single-label predictions.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn f1_scores(pred: &[u32], truth: &[u32], num_classes: usize) -> F1Scores {
+    assert_eq!(pred.len(), truth.len(), "f1: length mismatch");
+    assert!(!pred.is_empty(), "f1: empty input");
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnn = vec![0usize; num_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let (p, t) = (p as usize, t as usize);
+        debug_assert!(p < num_classes && t < num_classes);
+        if p == t {
+            tp[p] += 1;
+        } else {
+            fp[p] += 1;
+            fnn[t] += 1;
+        }
+    }
+    let mut macro_sum = 0.0;
+    for c in 0..num_classes {
+        let denom = 2 * tp[c] + fp[c] + fnn[c];
+        // Classes absent from both pred and truth contribute F1 = 0, as in
+        // scikit-learn's default.
+        let f1 = if denom == 0 { 0.0 } else { 2.0 * tp[c] as f64 / denom as f64 };
+        macro_sum += f1;
+    }
+    let tp_total: usize = tp.iter().sum();
+    F1Scores {
+        macro_f1: macro_sum / num_classes as f64,
+        micro_f1: tp_total as f64 / pred.len() as f64,
+    }
+}
+
+/// Area under the ROC curve for binary scores (probability of ranking a
+/// random positive above a random negative; ties count half).
+///
+/// # Panics
+/// Panics if either class is empty.
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let mut pairs: Vec<(f32, f32)> =
+        scores.iter().copied().zip(labels.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores must not be NaN"));
+    // Rank-sum (Mann–Whitney) formulation with midranks for ties.
+    let n = pairs.len();
+    let mut rank_sum_pos = 0.0f64;
+    let mut n_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let midrank = (i + 1 + j) as f64 / 2.0; // average of ranks i+1..=j
+        for p in &pairs[i..j] {
+            if p.1 > 0.5 {
+                rank_sum_pos += midrank;
+                n_pos += 1.0;
+            }
+        }
+        i = j;
+    }
+    let n_neg = n as f64 - n_pos;
+    assert!(n_pos > 0.0 && n_neg > 0.0, "auc: need both classes");
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Mean reciprocal rank: for each positive, its rank among
+/// `1 + negatives.len()` candidates (the positive plus all negatives),
+/// averaged over positives. This matches the HGB link-prediction protocol
+/// where every positive is ranked against the shared negative pool.
+pub fn mrr(pos_scores: &[f32], neg_scores: &[f32]) -> f64 {
+    assert!(!pos_scores.is_empty(), "mrr: no positives");
+    let mut sorted_neg: Vec<f32> = neg_scores.to_vec();
+    sorted_neg.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    let mut total = 0.0;
+    for &p in pos_scores {
+        // Number of negatives scoring strictly higher.
+        let higher = sorted_neg.len() - sorted_neg.partition_point(|&s| s <= p);
+        // Ties: average rank over tied negatives.
+        let tied = sorted_neg.partition_point(|&s| s <= p)
+            - sorted_neg.partition_point(|&s| s < p);
+        let rank = 1.0 + higher as f64 + tied as f64 / 2.0;
+        total += 1.0 / rank;
+    }
+    total / pos_scores.len() as f64
+}
+
+/// Argmax predictions from an `(n, c)` row-major logit buffer.
+pub fn argmax_predictions(logits: &[f32], n: usize, c: usize) -> Vec<u32> {
+    assert_eq!(logits.len(), n * c, "argmax: buffer shape mismatch");
+    (0..n)
+        .map(|r| {
+            let row = &logits[r * c..(r + 1) * c];
+            let mut best = 0u32;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i as u32;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let s = f1_scores(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(s.macro_f1, 1.0);
+        assert_eq!(s.micro_f1, 1.0);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy() {
+        let pred = [0u32, 1, 1, 0, 2];
+        let truth = [0u32, 1, 0, 0, 1];
+        let s = f1_scores(&pred, &truth, 3);
+        assert!((s.micro_f1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        // Classes: 0 and 1.
+        // pred [0,0,1,1], truth [0,1,1,1]
+        // class0: tp=1 fp=1 fn=0 → f1 = 2/3
+        // class1: tp=2 fp=0 fn=1 → f1 = 4/5
+        let s = f1_scores(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert!((s.macro_f1 - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_punishes_rare_class_errors_more() {
+        // 9 correct of class 0, 1 wrong of class 1.
+        let pred = [0u32; 10];
+        let mut truth = [0u32; 10];
+        truth[9] = 1;
+        let s = f1_scores(&pred, &truth, 2);
+        assert!(s.micro_f1 > s.macro_f1, "micro {} vs macro {}", s.micro_f1, s.macro_f1);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let perfect = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[1.0, 1.0, 0.0, 0.0]);
+        assert!((perfect - 1.0).abs() < 1e-12);
+        let inverted = roc_auc(&[0.1, 0.2, 0.8, 0.9], &[1.0, 1.0, 0.0, 0.0]);
+        assert!(inverted.abs() < 1e-12);
+        let ties = roc_auc(&[0.5, 0.5, 0.5, 0.5], &[1.0, 0.0, 1.0, 0.0]);
+        assert!((ties - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_hand_computed() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) → 3/4
+        let auc = roc_auc(&[0.8, 0.4, 0.6, 0.2], &[1.0, 1.0, 0.0, 0.0]);
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_hand_computed() {
+        // One positive scoring above all 3 negatives → rank 1.
+        assert!((mrr(&[0.9], &[0.1, 0.2, 0.3]) - 1.0).abs() < 1e-12);
+        // Positive below one negative → rank 2 → 0.5.
+        assert!((mrr(&[0.25], &[0.1, 0.2, 0.3]) - 0.5).abs() < 1e-12);
+        // Average of the two.
+        assert!((mrr(&[0.9, 0.25], &[0.1, 0.2, 0.3]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_monotone_in_score() {
+        let low = mrr(&[0.1], &[0.5, 0.6]);
+        let high = mrr(&[0.7], &[0.5, 0.6]);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn argmax_predictions_rows() {
+        let logits = [0.1f32, 0.9, 0.0, 2.0, -1.0, 0.5];
+        assert_eq!(argmax_predictions(&logits, 2, 3), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn auc_requires_both_classes() {
+        let _ = roc_auc(&[0.5, 0.6], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Multi-label F1 metrics. HGB's IMDB task is natively multi-label
+//! (movies carry up to five genres); the pipeline in this reproduction
+//! uses the single-label simplification (DESIGN.md §1), but the metrics
+//! are provided for downstream users and tested against hand-computed
+//! references.
+
+use crate::metrics::F1Scores;
+
+/// Computes multi-label Macro/Micro-F1 from thresholded score matrices.
+///
+/// `scores` and `truth` are `(n, c)` row-major; a label is predicted
+/// when its score exceeds `threshold`, and `truth` entries are `{0, 1}`.
+pub fn multilabel_f1(
+    scores: &[f32],
+    truth: &[f32],
+    n: usize,
+    c: usize,
+    threshold: f32,
+) -> F1Scores {
+    assert_eq!(scores.len(), n * c, "multilabel_f1: score buffer shape mismatch");
+    assert_eq!(truth.len(), n * c, "multilabel_f1: truth buffer shape mismatch");
+    assert!(n > 0 && c > 0, "multilabel_f1: empty input");
+    let mut tp = vec![0usize; c];
+    let mut fp = vec![0usize; c];
+    let mut fnn = vec![0usize; c];
+    for i in 0..n {
+        for j in 0..c {
+            let p = scores[i * c + j] > threshold;
+            let t = truth[i * c + j] > 0.5;
+            match (p, t) {
+                (true, true) => tp[j] += 1,
+                (true, false) => fp[j] += 1,
+                (false, true) => fnn[j] += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let mut macro_sum = 0.0;
+    for j in 0..c {
+        let denom = 2 * tp[j] + fp[j] + fnn[j];
+        macro_sum += if denom == 0 { 0.0 } else { 2.0 * tp[j] as f64 / denom as f64 };
+    }
+    let (tp_s, fp_s, fn_s) =
+        (tp.iter().sum::<usize>(), fp.iter().sum::<usize>(), fnn.iter().sum::<usize>());
+    let denom = 2 * tp_s + fp_s + fn_s;
+    F1Scores {
+        macro_f1: macro_sum / c as f64,
+        micro_f1: if denom == 0 { 0.0 } else { 2.0 * tp_s as f64 / denom as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_multilabel() {
+        let truth = [1.0f32, 0.0, 1.0, 0.0, 1.0, 1.0];
+        let scores = [0.9f32, 0.1, 0.8, 0.2, 0.7, 0.9];
+        let s = multilabel_f1(&scores, &truth, 2, 3, 0.5);
+        assert_eq!(s.micro_f1, 1.0);
+        assert_eq!(s.macro_f1, 1.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // n = 2, c = 2.
+        // node 0: pred {0}, truth {0,1} → class0 tp, class1 fn
+        // node 1: pred {0,1}, truth {1} → class0 fp, class1 tp
+        let scores = [0.9f32, 0.1, 0.9, 0.9];
+        let truth = [1.0f32, 1.0, 0.0, 1.0];
+        let s = multilabel_f1(&scores, &truth, 2, 2, 0.5);
+        // class0: tp=1 fp=1 fn=0 → 2/3; class1: tp=1 fp=0 fn=1 → 2/3.
+        assert!((s.macro_f1 - 2.0 / 3.0).abs() < 1e-12);
+        // micro: tp=2 fp=1 fn=1 → 2·2/(4+1+1) = 2/3.
+        assert!((s.micro_f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_prediction_scores_zero_f1_for_positive_truth() {
+        let scores = [0.0f32; 4];
+        let truth = [1.0f32; 4];
+        let s = multilabel_f1(&scores, &truth, 2, 2, 0.5);
+        assert_eq!(s.micro_f1, 0.0);
+        assert_eq!(s.macro_f1, 0.0);
+    }
+
+    #[test]
+    fn empty_labels_everywhere_is_zero_not_nan() {
+        let scores = [0.0f32; 4];
+        let truth = [0.0f32; 4];
+        let s = multilabel_f1(&scores, &truth, 2, 2, 0.5);
+        assert_eq!(s.micro_f1, 0.0);
+        assert!(s.macro_f1 == 0.0);
+    }
+
+    #[test]
+    fn threshold_moves_precision_recall_tradeoff() {
+        let scores = [0.6f32, 0.4, 0.6, 0.4];
+        let truth = [1.0f32, 1.0, 1.0, 1.0];
+        let loose = multilabel_f1(&scores, &truth, 2, 2, 0.3);
+        let strict = multilabel_f1(&scores, &truth, 2, 2, 0.5);
+        assert!(loose.micro_f1 > strict.micro_f1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Statistics for the result tables: mean ± std aggregation over seeds and
+//! Welch's t-test (the paper reports p-values of the improvement over the
+//! best baseline).
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation (0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Formats `mean ± std` in percent with two decimals (table style).
+pub fn mean_std_pct(xs: &[f64]) -> String {
+    format!("{:.2}±{:.2}", mean(xs) * 100.0, std_dev(xs) * 100.0)
+}
+
+/// Welch's unequal-variances t-test result.
+#[derive(Debug, Clone, Copy)]
+pub struct TTest {
+    /// t statistic (positive when `a` has the larger mean).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for "mean(a) > mean(b)".
+    pub p_one_sided: f64,
+}
+
+/// Welch's t-test comparing two independent samples.
+///
+/// # Panics
+/// Panics if either sample has fewer than two observations.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "t-test: need ≥ 2 samples per group");
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (std_dev(a).powi(2), std_dev(b).powi(2));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se_sq = va / na + vb / nb;
+    if se_sq == 0.0 {
+        // Identical constant samples: no evidence either way.
+        let p = if ma > mb { 0.0 } else { 1.0 };
+        return TTest { t: f64::INFINITY * (ma - mb).signum(), df: na + nb - 2.0, p_one_sided: p };
+    }
+    let t = (ma - mb) / se_sq.sqrt();
+    let df = se_sq * se_sq
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p = 1.0 - student_t_cdf(t, df);
+    TTest { t, df, p_one_sided: p }
+}
+
+/// CDF of Student's t distribution via the regularized incomplete beta
+/// function.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let ib = 0.5 * reg_inc_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - ib
+    } else {
+        ib
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes' `betacf`).
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "reg_inc_beta: x outside [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_symmetry_and_bounds() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        let v = reg_inc_beta(2.0, 3.0, 0.3);
+        let w = 1.0 - reg_inc_beta(3.0, 2.0, 0.7);
+        assert!((v - w).abs() < 1e-12);
+        assert_eq!(reg_inc_beta(1.0, 1.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(1.0, 1.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform distribution).
+        assert!((reg_inc_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // Standard references: CDF(0) = 0.5 for any df.
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // df = 1 (Cauchy): CDF(1) = 0.75.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-9);
+        // Large df → normal: CDF(1.96, 10_000) ≈ 0.975.
+        assert!((student_t_cdf(1.96, 10_000.0) - 0.975).abs() < 2e-3);
+        // Symmetry.
+        let c = student_t_cdf(-1.3, 7.0) + student_t_cdf(1.3, 7.0);
+        assert!((c - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let a = [0.95, 0.951, 0.949, 0.952, 0.95];
+        let b = [0.93, 0.931, 0.929, 0.932, 0.93];
+        let t = welch_t_test(&a, &b);
+        assert!(t.t > 10.0, "t = {}", t.t);
+        assert!(t.p_one_sided < 1e-6, "p = {}", t.p_one_sided);
+    }
+
+    #[test]
+    fn welch_overlapping_samples_not_significant() {
+        let a = [0.90, 0.95, 0.85, 0.92, 0.88];
+        let b = [0.91, 0.93, 0.86, 0.90, 0.89];
+        let t = welch_t_test(&a, &b);
+        assert!(t.p_one_sided > 0.05, "p = {}", t.p_one_sided);
+    }
+
+    #[test]
+    fn formatting() {
+        let s = mean_std_pct(&[0.9515, 0.9525]);
+        assert_eq!(s, "95.20±0.07");
+    }
+}

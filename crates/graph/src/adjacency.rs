@@ -1,0 +1,134 @@
+//! Undirected neighbor lists with per-type buckets.
+//!
+//! Built once per graph and shared by the metapath enumerator, the random
+//! walker, and the completion-operation kernels. Neighbors of each node are
+//! grouped by the neighbor's node type so schema-guided traversals are O(1)
+//! per hop.
+
+use crate::hetero::{HeteroGraph, NodeTypeId};
+
+/// Undirected adjacency with neighbors bucketed by node type.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    num_nodes: usize,
+    num_types: usize,
+    /// `indptr[v * num_types + t] .. indptr[v * num_types + t + 1]` indexes
+    /// `neighbors` with the type-`t` neighbors of node `v`.
+    indptr: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Builds the bucketed adjacency from all edges of `g`, treating every
+    /// edge as undirected.
+    pub fn build(g: &HeteroGraph) -> Self {
+        let n = g.num_nodes();
+        let t = g.num_node_types();
+        // Precompute node types to avoid repeated binary searches.
+        let types: Vec<NodeTypeId> = (0..n).map(|v| g.type_of(v)).collect();
+        let mut counts = vec![0usize; n * t + 1];
+        for (_, s, d) in g.all_edges() {
+            counts[s as usize * t + types[d as usize] + 1] += 1;
+            counts[d as usize * t + types[s as usize] + 1] += 1;
+        }
+        for i in 0..n * t {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut neighbors = vec![0u32; *indptr.last().expect("non-empty")];
+        for (_, s, d) in g.all_edges() {
+            let slot = s as usize * t + types[d as usize];
+            neighbors[cursor[slot]] = d;
+            cursor[slot] += 1;
+            let slot = d as usize * t + types[s as usize];
+            neighbors[cursor[slot]] = s;
+            cursor[slot] += 1;
+        }
+        // Sort each bucket for determinism and binary-searchable membership.
+        for v in 0..n {
+            for ty in 0..t {
+                let r = indptr[v * t + ty]..indptr[v * t + ty + 1];
+                neighbors[r].sort_unstable();
+            }
+        }
+        Self { num_nodes: n, num_types: t, indptr, neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All neighbors of `v` (all types, ordered by type then id).
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let lo = self.indptr[v * self.num_types];
+        let hi = self.indptr[(v + 1) * self.num_types];
+        &self.neighbors[lo..hi]
+    }
+
+    /// Neighbors of `v` with node type `t`.
+    pub fn typed_neighbors(&self, v: usize, t: NodeTypeId) -> &[u32] {
+        let lo = self.indptr[v * self.num_types + t];
+        let hi = self.indptr[v * self.num_types + t + 1];
+        &self.neighbors[lo..hi]
+    }
+
+    /// Undirected degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether `u` is adjacent to `v` (binary search within the bucket).
+    pub fn has_edge(&self, v: usize, u: u32, u_type: NodeTypeId) -> bool {
+        self.typed_neighbors(v, u_type).binary_search(&u).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::HeteroGraph;
+
+    fn toy() -> HeteroGraph {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("movie", 3);
+        let a = b.add_node_type("actor", 2);
+        let d = b.add_node_type("director", 1);
+        let ma = b.add_edge_type("movie-actor", m, a);
+        let md = b.add_edge_type("movie-director", m, d);
+        b.add_edge(ma, 0, 3);
+        b.add_edge(ma, 1, 3);
+        b.add_edge(ma, 1, 4);
+        b.add_edge(ma, 2, 4);
+        b.add_edge(md, 0, 5);
+        b.add_edge(md, 2, 5);
+        b.build()
+    }
+
+    #[test]
+    fn typed_buckets() {
+        let adj = Adjacency::build(&toy());
+        assert_eq!(adj.typed_neighbors(1, 1), &[3, 4]);
+        assert_eq!(adj.typed_neighbors(1, 2), &[] as &[u32]);
+        assert_eq!(adj.typed_neighbors(0, 1), &[3]);
+        assert_eq!(adj.typed_neighbors(0, 2), &[5]);
+        assert_eq!(adj.typed_neighbors(5, 0), &[0, 2]);
+    }
+
+    #[test]
+    fn neighbors_concatenate_buckets() {
+        let adj = Adjacency::build(&toy());
+        assert_eq!(adj.neighbors(0), &[3, 5]);
+        assert_eq!(adj.degree(1), 2);
+        assert_eq!(adj.degree(5), 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let adj = Adjacency::build(&toy());
+        assert!(adj.has_edge(0, 3, 1));
+        assert!(!adj.has_edge(0, 4, 1));
+        assert!(adj.has_edge(3, 0, 0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests over randomly generated heterogeneous graphs:
+//! adjacency consistency, normalization invariants, metapath validity and
+//! walk validity.
+
+use autoac_graph::{metapath::Metapath, norm, Adjacency, HeteroGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random 2-type bipartite-ish graph plus optional same-type
+/// edges.
+fn random_graph() -> impl Strategy<Value = HeteroGraph> {
+    (2usize..8, 2usize..8, proptest::collection::vec((0u32..8, 0u32..8), 0..30)).prop_map(
+        |(na, nb, edges)| {
+            let mut b = HeteroGraph::builder();
+            let ta = b.add_node_type("a", na);
+            let tb = b.add_node_type("b", nb);
+            let e = b.add_edge_type("a-b", ta, tb);
+            let mut seen = std::collections::HashSet::new();
+            for (s, d) in edges {
+                let s = s % na as u32;
+                let d = (d % nb as u32) + na as u32;
+                if seen.insert((s, d)) {
+                    b.add_edge(e, s, d);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacency_is_symmetric(g in random_graph()) {
+        let adj = Adjacency::build(&g);
+        for v in 0..g.num_nodes() {
+            for &u in adj.neighbors(v) {
+                let t = g.type_of(v);
+                prop_assert!(
+                    adj.has_edge(u as usize, v as u32, t),
+                    "edge {v}->{u} missing its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_degrees_match_graph(g in random_graph()) {
+        let adj = Adjacency::build(&g);
+        for (v, &d) in g.undirected_degrees().iter().enumerate() {
+            prop_assert_eq!(adj.degree(v), d);
+        }
+    }
+
+    #[test]
+    fn sym_norm_is_symmetric_and_bounded(g in random_graph()) {
+        let a = norm::sym_norm_adj(&g);
+        let dense = a.to_dense();
+        let t = dense.transpose();
+        for (x, y) in dense.data().iter().zip(t.data()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+        // All weights in (0, 1].
+        prop_assert!(dense.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Self-loops present on every node.
+        for v in 0..g.num_nodes() {
+            prop_assert!(dense.get(v, v) > 0.0);
+        }
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one_or_zero(g in random_graph()) {
+        let a = norm::row_norm_adj(&g);
+        for s in a.row_sums() {
+            prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attr_agg_rows_only_reference_attributed(g in random_graph()) {
+        // Type a attributed, type b missing.
+        let mut has = vec![false; g.num_nodes()];
+        for v in g.nodes_of_type(0) {
+            has[v] = true;
+        }
+        for csr in [norm::mean_attr_agg(&g, &has), norm::gcn_attr_agg(&g, &has)] {
+            for r in 0..csr.n_rows() {
+                for (c, w) in csr.row(r) {
+                    prop_assert!(has[c as usize], "row {r} references unattributed {c}");
+                    prop_assert!(w > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metapath_instances_are_paths(g in random_graph()) {
+        let adj = Adjacency::build(&g);
+        let mp = Metapath::new(vec![0usize, 1, 0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for start in g.nodes_of_type(0) {
+            for inst in
+                autoac_graph::metapath::sample_instances(&adj, &mp, start as u32, 16, &mut rng)
+            {
+                prop_assert_eq!(inst.len(), 3);
+                prop_assert_eq!(inst[0] as usize, start);
+                for w in inst.windows(2) {
+                    let t = g.type_of(w[1] as usize);
+                    prop_assert!(adj.has_edge(w[0] as usize, w[1], t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ppnp_preserves_l2_scale(g in random_graph()) {
+        // Â is symmetric with spectral radius ≤ 1, so the PPNP fixed point
+        // h = α(I−(1−α)Â)⁻¹x satisfies ‖h‖₂ ≤ ‖x‖₂. (Per-element bounds do
+        // NOT hold — Â is not row-stochastic.)
+        let a = norm::sym_norm_adj(&g);
+        let x = autoac_tensor::Matrix::full(g.num_nodes(), 2, 1.0);
+        let h = autoac_graph::ppr::ppnp_propagate_dense(&a, &x, 0.2, 64);
+        prop_assert!(h.frob() <= x.frob() * (1.0 + 1e-4), "{} > {}", h.frob(), x.frob());
+    }
+}
+
+#[test]
+fn walks_on_singleton_graph() {
+    let mut b = HeteroGraph::builder();
+    b.add_node_type("solo", 1);
+    let g = b.build();
+    let adj = Adjacency::build(&g);
+    let mut rng = StdRng::seed_from_u64(0);
+    let walks = autoac_graph::walk::uniform_walks(&adj, 0..1u32, 5, 2, &mut rng);
+    assert_eq!(walks.len(), 2);
+    assert!(walks.iter().all(|w| w == &vec![0u32]));
+}

@@ -1,0 +1,138 @@
+//! Per-type input projection into the shared embedding space.
+//!
+//! HGB convention: each node type's raw features go through a type-specific
+//! linear layer into a common `d`-dimensional space. Types with missing
+//! attributes contribute zero rows — exactly the rows that attribute
+//! completion fills in (paper §III).
+
+use autoac_graph::HeteroGraph;
+use autoac_tensor::{Matrix, Tensor};
+use rand::Rng;
+
+use crate::layers::Linear;
+
+/// Projects per-type raw features into a shared `(N, d)` block.
+pub struct FeatureEncoder {
+    projections: Vec<Option<Linear>>,
+    type_counts: Vec<usize>,
+    dim: usize,
+}
+
+impl FeatureEncoder {
+    /// Builds one projection per attributed node type.
+    ///
+    /// `features[t]` is the raw feature matrix of type `t` (or `None` when
+    /// missing); shapes fix each projection's input dimension.
+    pub fn new(
+        graph: &HeteroGraph,
+        features: &[Option<Matrix>],
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(features.len(), graph.num_node_types(), "encoder: feature/type mismatch");
+        let projections = features
+            .iter()
+            .enumerate()
+            .map(|(t, f)| {
+                f.as_ref().map(|m| {
+                    assert_eq!(
+                        m.rows(),
+                        graph.num_nodes_of_type(t),
+                        "encoder: feature rows must match node count of type {t}"
+                    );
+                    Linear::new(m.cols(), dim, true, rng)
+                })
+            })
+            .collect();
+        let type_counts = (0..graph.num_node_types())
+            .map(|t| graph.num_nodes_of_type(t))
+            .collect();
+        Self { projections, type_counts, dim }
+    }
+
+    /// Shared embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes all nodes into an `(N, d)` tensor; rows of attribute-less
+    /// nodes are zero.
+    pub fn encode(&self, features: &[Option<Matrix>]) -> Tensor {
+        let blocks: Vec<Tensor> = self
+            .projections
+            .iter()
+            .zip(features)
+            .zip(&self.type_counts)
+            .map(|((proj, feat), &count)| match (proj, feat) {
+                (Some(p), Some(f)) => p.forward(&Tensor::constant(f.clone())),
+                _ => Tensor::constant(Matrix::zeros(count, self.dim)),
+            })
+            .collect();
+        let refs: Vec<&Tensor> = blocks.iter().collect();
+        Tensor::concat_rows(&refs)
+    }
+
+    /// Trainable parameters of every projection.
+    pub fn params(&self) -> Vec<Tensor> {
+        self.projections.iter().flatten().flat_map(Linear::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (HeteroGraph, Vec<Option<Matrix>>) {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("movie", 3);
+        let a = b.add_node_type("actor", 2);
+        let e = b.add_edge_type("m-a", m, a);
+        b.add_edge(e, 0, 3);
+        let g = b.build();
+        let feats = vec![Some(Matrix::ones(3, 5)), None];
+        (g, feats)
+    }
+
+    #[test]
+    fn encode_shapes_and_zero_rows() {
+        let (g, feats) = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = FeatureEncoder::new(&g, &feats, 8, &mut rng);
+        let x = enc.encode(&feats);
+        assert_eq!(x.shape(), (5, 8));
+        let v = x.to_matrix();
+        // Actor rows (3, 4) are zero.
+        assert!(v.row(3).iter().all(|&z| z == 0.0));
+        assert!(v.row(4).iter().all(|&z| z == 0.0));
+        // Movie rows are generally nonzero.
+        assert!(v.row(0).iter().any(|&z| z != 0.0));
+    }
+
+    #[test]
+    fn params_only_for_attributed_types() {
+        let (g, feats) = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = FeatureEncoder::new(&g, &feats, 8, &mut rng);
+        assert_eq!(enc.params().len(), 2, "one weight + one bias");
+    }
+
+    #[test]
+    fn gradients_flow_to_projection() {
+        let (g, feats) = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = FeatureEncoder::new(&g, &feats, 4, &mut rng);
+        enc.encode(&feats).sum().backward();
+        assert!(enc.params()[0].grad().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows must match")]
+    fn rejects_wrong_feature_rows() {
+        let (g, _) = toy();
+        let bad = vec![Some(Matrix::ones(2, 5)), None];
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FeatureEncoder::new(&g, &bad, 8, &mut rng);
+    }
+}

@@ -1,0 +1,118 @@
+//! Basic trainable layers.
+
+use autoac_tensor::{init, Matrix, Tensor};
+use rand::Rng;
+
+/// Fully connected layer `y = x W + b`.
+pub struct Linear {
+    /// Weight matrix `(in_dim, out_dim)`.
+    pub w: Tensor,
+    /// Optional bias `(1, out_dim)`.
+    pub b: Option<Tensor>,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(in_dim: usize, out_dim: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Tensor::param(init::xavier_uniform(in_dim, out_dim, rng)),
+            b: bias.then(|| Tensor::param(Matrix::zeros(1, out_dim))),
+        }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = x.matmul(&self.w);
+        match &self.b {
+            Some(b) => y.add_row_vec(b),
+            None => y,
+        }
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.w.clone()];
+        if let Some(b) = &self.b {
+            p.push(b.clone());
+        }
+        p
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.shape().1
+    }
+}
+
+/// Embedding table: a trainable `(count, dim)` matrix addressed by row.
+pub struct Embedding {
+    /// The table.
+    pub table: Tensor,
+}
+
+impl Embedding {
+    /// Normal-initialized embedding table.
+    pub fn new(count: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Self { table: Tensor::param(init::random_normal(count, dim, 0.1, rng)) }
+    }
+
+    /// Looks up rows by index.
+    pub fn forward(&self, idx: &[u32]) -> Tensor {
+        self.table.gather_rows(idx)
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, true, &mut rng);
+        let x = Tensor::constant(Matrix::ones(5, 4));
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(l.params().len(), 2);
+        assert_eq!(l.out_dim(), 3);
+    }
+
+    #[test]
+    fn linear_without_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, false, &mut rng);
+        assert_eq!(l.params().len(), 1);
+        assert!(l.b.is_none());
+    }
+
+    #[test]
+    fn linear_is_trainable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(2, 2, true, &mut rng);
+        let x = Tensor::constant(Matrix::ones(3, 2));
+        l.forward(&x).sum().backward();
+        assert!(l.w.grad().is_some());
+        assert!(l.b.as_ref().unwrap().grad().is_some());
+    }
+
+    #[test]
+    fn embedding_lookup() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = Embedding::new(10, 4, &mut rng);
+        let out = e.forward(&[3, 3, 7]);
+        assert_eq!(out.shape(), (3, 4));
+        let v = out.to_matrix();
+        assert_eq!(v.row(0), v.row(1), "same index, same row");
+        out.sum().backward();
+        let g = e.table.grad().unwrap();
+        assert_eq!(g.row(3), &[2.0, 2.0, 2.0, 2.0], "duplicate index accumulates");
+        assert_eq!(g.row(0), &[0.0; 4]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # autoac-nn
+//!
+//! Heterogeneous GNN model zoo on top of `autoac-tensor`: the backbones
+//! AutoAC wraps (SimpleHGN, MAGNN) plus the baselines of Tables II and V
+//! (GCN, GAT, HAN, HGT-lite, HetGNN-lite, GTN-lite), shared attention
+//! layers, the per-type feature encoder, and the link-prediction head.
+
+#![warn(missing_docs)]
+
+pub mod attention;
+mod edges;
+mod encoder;
+pub mod layers;
+pub mod lp;
+pub mod metapaths;
+pub mod models;
+
+pub use edges::EdgeIndex;
+pub use encoder::FeatureEncoder;
+pub use models::{Forward, Gnn, GnnConfig};

@@ -1,0 +1,91 @@
+//! Default metapath selection for metapath-based models (HAN, MAGNN).
+
+use autoac_graph::{metapath::Metapath, HeteroGraph, NodeTypeId};
+
+/// Derives the standard symmetric 2-hop metapaths `T–X–T` for every node
+/// type `X` connected to the target type by some edge type — e.g. for IMDB
+/// movies: `M-D-M`, `M-A-M`, `M-K-M`; for DBLP authors: `A-P-A`.
+///
+/// When the target connects to only one type (DBLP), the 4-hop paths
+/// through that type's other neighbors are added (`A-P-T-P-A`-style), so
+/// the model still sees more than one semantic view.
+pub fn default_metapaths(graph: &HeteroGraph, target: NodeTypeId) -> Vec<Metapath> {
+    let mut mids: Vec<NodeTypeId> = Vec::new();
+    for e in 0..graph.num_edge_types() {
+        let et = graph.edge_type(e);
+        if et.src == target && !mids.contains(&et.dst) {
+            mids.push(et.dst);
+        }
+        if et.dst == target && !mids.contains(&et.src) {
+            mids.push(et.src);
+        }
+    }
+    // A self-relation (target-target edges) also yields a 2-hop path.
+    let mut out: Vec<Metapath> =
+        mids.iter().map(|&x| Metapath::new(vec![target, x, target])).collect();
+
+    if mids.len() == 1 && mids[0] != target {
+        let bridge = mids[0];
+        for e in 0..graph.num_edge_types() {
+            let et = graph.edge_type(e);
+            let far = if et.src == bridge && et.dst != target {
+                Some(et.dst)
+            } else if et.dst == bridge && et.src != target {
+                Some(et.src)
+            } else {
+                None
+            };
+            if let Some(far) = far {
+                out.push(Metapath::new(vec![target, bridge, far, bridge, target]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imdb_like() -> HeteroGraph {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("movie", 2);
+        let d = b.add_node_type("director", 1);
+        let a = b.add_node_type("actor", 1);
+        b.add_edge_type("m-d", m, d);
+        b.add_edge_type("m-a", m, a);
+        b.build()
+    }
+
+    fn dblp_like() -> HeteroGraph {
+        let mut b = HeteroGraph::builder();
+        let au = b.add_node_type("author", 2);
+        let p = b.add_node_type("paper", 2);
+        let t = b.add_node_type("term", 1);
+        let v = b.add_node_type("venue", 1);
+        b.add_edge_type("p-a", p, au);
+        b.add_edge_type("p-t", p, t);
+        b.add_edge_type("p-v", p, v);
+        b.build()
+    }
+
+    #[test]
+    fn imdb_gets_two_hop_paths() {
+        let g = imdb_like();
+        let mps = default_metapaths(&g, 0);
+        assert_eq!(mps.len(), 2);
+        assert!(mps.contains(&Metapath::new(vec![0, 1, 0])));
+        assert!(mps.contains(&Metapath::new(vec![0, 2, 0])));
+    }
+
+    #[test]
+    fn dblp_gets_four_hop_paths_through_paper() {
+        let g = dblp_like();
+        let mps = default_metapaths(&g, 0);
+        // A-P-A plus A-P-T-P-A and A-P-V-P-A.
+        assert_eq!(mps.len(), 3);
+        assert!(mps.contains(&Metapath::new(vec![0, 1, 0])));
+        assert!(mps.contains(&Metapath::new(vec![0, 1, 2, 1, 0])));
+        assert!(mps.contains(&Metapath::new(vec![0, 1, 3, 1, 0])));
+    }
+}

@@ -1,0 +1,167 @@
+//! GTN-lite — Graph Transformer Network (Yun et al., NeurIPS'19),
+//! simplified: each layer learns a softmax mixture over the per-edge-type
+//! normalized adjacencies (plus the identity, allowing shorter paths);
+//! stacking layers composes soft multi-hop meta-relations. The full GTN's
+//! explicit channel-wise adjacency products are replaced by propagating
+//! features through the mixture, which computes the same composite operator
+//! applied to `X` without materializing sparse products (DESIGN.md §1).
+
+use std::rc::Rc;
+
+use autoac_graph::HeteroGraph;
+use autoac_tensor::{spmm, Csr, Matrix, Tensor};
+use rand::rngs::StdRng;
+
+use crate::layers::Linear;
+use crate::models::{Forward, Gnn, GnnConfig};
+
+/// Simplified GTN.
+pub struct GtnLite {
+    /// Row-normalized adjacency per stored edge type (both directions
+    /// merged into one symmetric operator per type).
+    adjs: Vec<(Rc<Csr>, Rc<Csr>)>,
+    /// Per layer: softmax logits over `adjs.len() + 1` choices (identity
+    /// last).
+    selectors: Vec<Tensor>,
+    transforms: Vec<Linear>,
+    classifier: Linear,
+    dropout: f32,
+}
+
+impl GtnLite {
+    /// Builds the model.
+    pub fn new(graph: &HeteroGraph, cfg: &GnnConfig, rng: &mut StdRng) -> Self {
+        let n = graph.num_nodes();
+        let adjs: Vec<(Rc<Csr>, Rc<Csr>)> = (0..graph.num_edge_types())
+            .map(|e| {
+                let mut deg = vec![0usize; n];
+                for &(s, d) in graph.edges_of_type(e) {
+                    deg[s as usize] += 1;
+                    deg[d as usize] += 1;
+                }
+                let triplets = graph.edges_of_type(e).iter().flat_map(|&(s, d)| {
+                    [
+                        (s, d, 1.0 / deg[s as usize].max(1) as f32),
+                        (d, s, 1.0 / deg[d as usize].max(1) as f32),
+                    ]
+                });
+                let a = Rc::new(Csr::from_coo(n, n, triplets));
+                let at = Rc::new(a.transpose());
+                (a, at)
+            })
+            .collect();
+        let mut selectors = Vec::with_capacity(cfg.layers);
+        let mut transforms = Vec::with_capacity(cfg.layers);
+        let mut in_dim = cfg.in_dim;
+        for _ in 0..cfg.layers {
+            selectors.push(Tensor::param(Matrix::zeros(1, adjs.len() + 1)));
+            transforms.push(Linear::new(in_dim, cfg.hidden, true, rng));
+            in_dim = cfg.hidden;
+        }
+        let classifier = Linear::new(cfg.hidden, cfg.out_dim, true, rng);
+        Self { adjs, selectors, transforms, classifier, dropout: cfg.dropout }
+    }
+}
+
+impl Gnn for GtnLite {
+    fn name(&self) -> &'static str {
+        "GTN"
+    }
+
+    fn forward(&self, x0: &Tensor, training: bool, rng: &mut StdRng) -> Forward {
+        let mut h = x0.clone();
+        let mut hidden = h.clone();
+        for (sel, lin) in self.selectors.iter().zip(&self.transforms) {
+            let h_in = lin.forward(&h.dropout(self.dropout, training, rng));
+            let weights = sel.softmax_rows(); // (1, E+1)
+            // Soft edge-type selection: Σ_e w_e A_e h + w_I h.
+            let mut mixed = h_in.mul_scalar_tensor(&weights.slice_cols(self.adjs.len(), 1));
+            for (e, (a, at)) in self.adjs.iter().enumerate() {
+                let term = spmm(a, at, &h_in).mul_scalar_tensor(&weights.slice_cols(e, 1));
+                mixed = mixed.add(&term);
+            }
+            h = mixed.relu();
+            hidden = h.clone();
+        }
+        let output = self.classifier.forward(&h.dropout(self.dropout, training, rng));
+        Forward { hidden, output }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.selectors.clone();
+        p.extend(self.transforms.iter().flat_map(Linear::params));
+        p.extend(self.classifier.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> HeteroGraph {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("m", 4);
+        let a = b.add_node_type("a", 2);
+        let d = b.add_node_type("d", 2);
+        let ma = b.add_edge_type("m-a", m, a);
+        let md = b.add_edge_type("m-d", m, d);
+        b.add_edge(ma, 0, 4);
+        b.add_edge(ma, 1, 4);
+        b.add_edge(ma, 2, 5);
+        b.add_edge(ma, 3, 5);
+        b.add_edge(md, 0, 6);
+        b.add_edge(md, 1, 6);
+        b.add_edge(md, 2, 7);
+        b.add_edge(md, 3, 7);
+        b.build()
+    }
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = GnnConfig { in_dim: 8, hidden: 8, out_dim: 3, layers: 2, ..Default::default() };
+        let model = GtnLite::new(&toy(), &cfg, &mut rng);
+        let x = Tensor::constant(Matrix::ones(8, 8));
+        let f = model.forward(&x, false, &mut rng);
+        assert_eq!(f.output.shape(), (8, 3));
+        assert_eq!(f.hidden.shape(), (8, 8));
+        assert_eq!(model.selectors.len(), 2);
+    }
+
+    #[test]
+    fn selector_learns_informative_edge_type() {
+        // Only movie-actor edges carry the class signal (movies sharing an
+        // actor share a class); movie-director edges are anti-correlated.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GnnConfig {
+            in_dim: 4,
+            hidden: 8,
+            out_dim: 2,
+            layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let g = toy();
+        let model = GtnLite::new(&g, &cfg, &mut rng);
+        let x = Tensor::constant(autoac_tensor::init::random_normal(8, 4, 1.0, &mut rng));
+        let targets = vec![0u32, 0, 1, 1, 9, 9, 9, 9];
+        let rows = vec![0u32, 1, 2, 3];
+        let mut opt =
+            autoac_tensor::Adam::new(model.params(), autoac_tensor::AdamConfig::with(0.02, 0.0));
+        let (mut first, mut last) = (f32::NAN, f32::NAN);
+        for i in 0..100 {
+            opt.zero_grad();
+            let f = model.forward(&x, true, &mut rng);
+            let loss = f.output.cross_entropy_rows(&targets, &rows);
+            if i == 0 {
+                first = loss.item();
+            }
+            last = loss.item();
+            loss.backward();
+            opt.step();
+        }
+        assert!(last < first * 0.6, "loss must drop: {first} -> {last}");
+    }
+}

@@ -1,0 +1,182 @@
+//! HetGNN-lite (Zhang et al., KDD'19), simplified: random-walk-with-restart
+//! neighbor sampling per node type, mean aggregation within each type (the
+//! paper's Bi-LSTM content encoder is replaced by mean pooling;
+//! DESIGN.md §1), and attention-based combination across types.
+
+use autoac_graph::{Adjacency, HeteroGraph};
+use autoac_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::layers::Linear;
+use crate::models::{Forward, Gnn, GnnConfig};
+
+/// Sampled neighbor pairs of one node type: `owner[i]` aggregates from
+/// `neighbor[i]`.
+struct TypeNeighbors {
+    owner: Vec<u32>,
+    neighbor: Vec<u32>,
+}
+
+/// Simplified HetGNN.
+pub struct HetGnnLite {
+    samples: Vec<TypeNeighbors>,
+    proj: Linear,
+    classifier: Linear,
+    slope: f32,
+    dropout: f32,
+    num_nodes: usize,
+}
+
+impl HetGnnLite {
+    /// Builds the model; `per_type` neighbors of each type are sampled per
+    /// node via restart walks of the given length.
+    pub fn new(
+        graph: &HeteroGraph,
+        cfg: &GnnConfig,
+        per_type: usize,
+        walk_len: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let adj = Adjacency::build(graph);
+        let n = graph.num_nodes();
+        let num_types = graph.num_node_types();
+        let mut sample_rng = StdRng::seed_from_u64(rng.next_u64());
+        let mut samples: Vec<TypeNeighbors> = (0..num_types)
+            .map(|_| TypeNeighbors { owner: Vec::new(), neighbor: Vec::new() })
+            .collect();
+        for v in 0..n {
+            // Random walk with restart from v; collect visited nodes per type.
+            let mut per_type_found = vec![0usize; num_types];
+            let mut cur = v;
+            let budget = walk_len * per_type * num_types;
+            for _ in 0..budget {
+                if sample_rng.gen_bool(0.5) {
+                    cur = v; // restart
+                }
+                let nbrs = adj.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = nbrs[sample_rng.gen_range(0..nbrs.len())] as usize;
+                let t = graph.type_of(next);
+                if per_type_found[t] < per_type {
+                    per_type_found[t] += 1;
+                    samples[t].owner.push(v as u32);
+                    samples[t].neighbor.push(next as u32);
+                }
+                cur = next;
+                if per_type_found.iter().all(|&c| c >= per_type) {
+                    break;
+                }
+            }
+        }
+        Self {
+            samples,
+            proj: Linear::new(cfg.in_dim, cfg.hidden, true, rng),
+            classifier: Linear::new(cfg.hidden, cfg.out_dim, true, rng),
+            slope: cfg.slope,
+            dropout: cfg.dropout,
+            num_nodes: n,
+        }
+    }
+}
+
+impl Gnn for HetGnnLite {
+    fn name(&self) -> &'static str {
+        "HetGNN"
+    }
+
+    fn forward(&self, x0: &Tensor, training: bool, rng: &mut StdRng) -> Forward {
+        let h = self.proj.forward(&x0.dropout(self.dropout, training, rng)).elu();
+        // Per-type aggregates (zero rows where no neighbors were sampled).
+        let mut aggregates = vec![h.clone()]; // slot 0: the node itself
+        for tn in &self.samples {
+            if tn.owner.is_empty() {
+                continue;
+            }
+            aggregates.push(h.gather_rows(&tn.neighbor).segment_mean(&tn.owner, self.num_nodes));
+        }
+        // Attention over {self, type-aggregates}: score_t(v) = ⟨agg_t_v, h_v⟩.
+        let scores: Vec<Tensor> =
+            aggregates.iter().map(|a| a.rowwise_dot(&h).leaky_relu(self.slope)).collect();
+        let refs: Vec<&Tensor> = scores.iter().collect();
+        let weights = Tensor::concat_cols(&refs).softmax_rows(); // (N, T+1)
+        let mut combined: Option<Tensor> = None;
+        for (t, agg) in aggregates.iter().enumerate() {
+            let w = weights.slice_cols(t, 1); // (N, 1)
+            let term = agg.mul_col_vec(&w);
+            combined = Some(match combined {
+                Some(acc) => acc.add(&term),
+                None => term,
+            });
+        }
+        let hidden = combined.expect("at least the self view").elu();
+        let output = self.classifier.forward(&hidden.dropout(self.dropout, training, rng));
+        Forward { hidden, output }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.proj.params();
+        p.extend(self.classifier.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> HeteroGraph {
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("m", 4);
+        let a = b.add_node_type("a", 2);
+        let e = b.add_edge_type("m-a", m, a);
+        b.add_edge(e, 0, 4);
+        b.add_edge(e, 1, 4);
+        b.add_edge(e, 2, 5);
+        b.add_edge(e, 3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn shapes_and_sampling() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = GnnConfig { in_dim: 8, hidden: 8, out_dim: 3, ..Default::default() };
+        let g = toy();
+        let model = HetGnnLite::new(&g, &cfg, 3, 5, &mut rng);
+        // Sampled neighbors must exist for both types.
+        assert!(model.samples.iter().any(|s| !s.owner.is_empty()));
+        let x = Tensor::constant(autoac_tensor::Matrix::ones(6, 8));
+        let f = model.forward(&x, false, &mut rng);
+        assert_eq!(f.output.shape(), (6, 3));
+        assert_eq!(f.hidden.shape(), (6, 8));
+    }
+
+    #[test]
+    fn trains() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg =
+            GnnConfig { in_dim: 4, hidden: 8, out_dim: 2, dropout: 0.0, ..Default::default() };
+        let g = toy();
+        let model = HetGnnLite::new(&g, &cfg, 3, 5, &mut rng);
+        let x = Tensor::constant(autoac_tensor::init::random_normal(6, 4, 1.0, &mut rng));
+        let targets = vec![0u32, 0, 1, 1, 0, 1];
+        let rows = vec![0u32, 1, 2, 3];
+        let mut opt =
+            autoac_tensor::Adam::new(model.params(), autoac_tensor::AdamConfig::with(0.02, 0.0));
+        let (mut first, mut last) = (f32::NAN, f32::NAN);
+        for i in 0..80 {
+            opt.zero_grad();
+            let f = model.forward(&x, true, &mut rng);
+            let loss = f.output.cross_entropy_rows(&targets, &rows);
+            if i == 0 {
+                first = loss.item();
+            }
+            last = loss.item();
+            loss.backward();
+            opt.step();
+        }
+        assert!(last < first * 0.6, "loss must drop: {first} -> {last}");
+    }
+}

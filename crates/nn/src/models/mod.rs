@@ -1,0 +1,91 @@
+//! GNN model zoo.
+//!
+//! Every model consumes a full-graph `(N, d_in)` initial embedding block
+//! (raw-projected + completed attributes) and produces both a hidden
+//! representation for every node (consumed by AutoAC's auxiliary
+//! clustering) and a task output block.
+
+use autoac_tensor::Tensor;
+use rand::rngs::StdRng;
+
+mod gat;
+mod gatne;
+mod gcn;
+mod gtn;
+mod han;
+mod hetgnn;
+mod hetsann;
+mod hgt;
+mod magnn;
+mod simple_hgn;
+
+pub use gat::Gat;
+pub use gatne::GatneLite;
+pub use gcn::Gcn;
+pub use gtn::GtnLite;
+pub use han::Han;
+pub use hetgnn::HetGnnLite;
+pub use hetsann::HetSannLite;
+pub use hgt::HgtLite;
+pub use magnn::Magnn;
+pub use simple_hgn::SimpleHgn;
+
+/// Result of a model forward pass.
+pub struct Forward {
+    /// Hidden representation `(N, hidden)` of every node — the input to the
+    /// auxiliary modularity clustering.
+    pub hidden: Tensor,
+    /// Task output `(N, out_dim)`: class logits for node classification, or
+    /// embedding block for link prediction.
+    pub output: Tensor,
+}
+
+/// Common interface over all GNN backbones.
+pub trait Gnn {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+    /// Runs the model on initial node embeddings `x0`.
+    fn forward(&self, x0: &Tensor, training: bool, rng: &mut StdRng) -> Forward;
+    /// All trainable parameters.
+    fn params(&self) -> Vec<Tensor>;
+}
+
+/// Shared hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GnnConfig {
+    /// Input (shared embedding) dimension.
+    pub in_dim: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Output dimension (classes for node classification, embedding dim for
+    /// link prediction).
+    pub out_dim: usize,
+    /// Number of message-passing layers.
+    pub layers: usize,
+    /// Attention heads (attention models).
+    pub heads: usize,
+    /// Feature dropout.
+    pub dropout: f32,
+    /// LeakyReLU negative slope in attention logits.
+    pub slope: f32,
+    /// Edge-type embedding dimension (SimpleHGN).
+    pub edge_dim: usize,
+    /// Edge-attention residual β (SimpleHGN).
+    pub beta: f32,
+}
+
+impl Default for GnnConfig {
+    fn default() -> Self {
+        Self {
+            in_dim: 64,
+            hidden: 64,
+            out_dim: 4,
+            layers: 2,
+            heads: 2,
+            dropout: 0.5,
+            slope: 0.05,
+            edge_dim: 32,
+            beta: 0.05,
+        }
+    }
+}

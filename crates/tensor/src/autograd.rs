@@ -1,0 +1,371 @@
+//! Tape-free reverse-mode automatic differentiation.
+//!
+//! Every [`Tensor`] is a reference-counted node in an implicit DAG. Forward
+//! ops record a backward closure that, given the upstream gradient, scatters
+//! gradient contributions into the op's parents. Calling
+//! [`Tensor::backward`] on a scalar loss runs the closures in reverse
+//! topological order.
+//!
+//! The graph is rebuilt on every forward pass (define-by-run); parameters are
+//! leaf tensors that persist across passes and accumulate gradients until
+//! [`Tensor::zero_grad`] is called.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::matrix::Matrix;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Runs `f` with gradient recording disabled (evaluation mode). Ops executed
+/// inside produce constant tensors with no parents, which skips closure
+/// allocation and graph retention.
+pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+    let prev = GRAD_ENABLED.with(|g| g.replace(false));
+    let out = f();
+    GRAD_ENABLED.with(|g| g.set(prev));
+    out
+}
+
+/// True when ops should record backward closures.
+pub fn grad_enabled() -> bool {
+    GRAD_ENABLED.with(|g| g.get())
+}
+
+pub(crate) type BackwardFn = Box<dyn Fn(&Matrix)>;
+
+pub(crate) struct Node {
+    id: u64,
+    value: RefCell<Matrix>,
+    grad: RefCell<Option<Matrix>>,
+    requires_grad: bool,
+    parents: Vec<Tensor>,
+    backward: Option<BackwardFn>,
+}
+
+thread_local! {
+    static DROP_STATE: RefCell<DropState> = RefCell::new(DropState { queue: Vec::new(), draining: false });
+}
+
+struct DropState {
+    queue: Vec<(Vec<Tensor>, Option<BackwardFn>)>,
+    draining: bool,
+}
+
+// Long op chains (e.g. many-step PPNP propagation or deep unrolled loops)
+// form deep `Rc` chains; the default recursive drop would overflow the
+// stack. Instead, each node hands its parents and backward closure to a
+// thread-local queue that the outermost drop drains iteratively.
+impl Drop for Node {
+    fn drop(&mut self) {
+        if self.parents.is_empty() && self.backward.is_none() {
+            return; // leaf: nothing to defer
+        }
+        let parents = std::mem::take(&mut self.parents);
+        let backward = self.backward.take();
+        let drain_here = DROP_STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            st.queue.push((parents, backward));
+            !std::mem::replace(&mut st.draining, true)
+        });
+        if drain_here {
+            loop {
+                let item = DROP_STATE.with(|s| s.borrow_mut().queue.pop());
+                match item {
+                    // Dropping may re-enter `Node::drop`, which only pushes
+                    // onto the queue (recursion depth stays O(1)).
+                    Some(item) => drop(item),
+                    None => break,
+                }
+            }
+            DROP_STATE.with(|s| s.borrow_mut().draining = false);
+        }
+    }
+}
+
+/// A matrix-valued node in the autograd graph.
+///
+/// Cloning a `Tensor` is cheap (reference-count bump) and clones share both
+/// value and gradient storage.
+#[derive(Clone)]
+pub struct Tensor {
+    pub(crate) node: Rc<Node>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.node.value.borrow();
+        write!(
+            f,
+            "Tensor(id={}, {}x{}, requires_grad={})",
+            self.node.id,
+            v.rows(),
+            v.cols(),
+            self.node.requires_grad
+        )
+    }
+}
+
+impl Tensor {
+    /// Creates a leaf tensor. `requires_grad` marks it as a trainable
+    /// parameter whose gradient is retained after `backward`.
+    pub fn new(value: Matrix, requires_grad: bool) -> Self {
+        Tensor {
+            node: Rc::new(Node {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value: RefCell::new(value),
+                grad: RefCell::new(None),
+                requires_grad,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// Creates a trainable parameter leaf.
+    pub fn param(value: Matrix) -> Self {
+        Self::new(value, true)
+    }
+
+    /// Creates a constant (non-differentiable) leaf.
+    pub fn constant(value: Matrix) -> Self {
+        Self::new(value, false)
+    }
+
+    /// Scalar constant as a `(1, 1)` tensor.
+    pub fn scalar(v: f32) -> Self {
+        Self::constant(Matrix::from_vec(1, 1, vec![v]))
+    }
+
+    /// Internal constructor for op results.
+    pub(crate) fn from_op(value: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        let requires = grad_enabled() && parents.iter().any(|p| p.node.requires_grad);
+        if !requires {
+            return Self::constant(value);
+        }
+        Tensor {
+            node: Rc::new(Node {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value: RefCell::new(value),
+                grad: RefCell::new(None),
+                requires_grad: true,
+                parents,
+                backward: Some(backward),
+            }),
+        }
+    }
+
+    /// Unique node id (monotonically increasing with creation order).
+    pub fn id(&self) -> u64 {
+        self.node.id
+    }
+
+    /// Whether this tensor participates in gradient computation.
+    pub fn requires_grad(&self) -> bool {
+        self.node.requires_grad
+    }
+
+    /// Borrow of the forward value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        self.node.value.borrow()
+    }
+
+    /// Owned copy of the forward value.
+    pub fn to_matrix(&self) -> Matrix {
+        self.node.value.borrow().clone()
+    }
+
+    /// `(rows, cols)` of the forward value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.node.value.borrow().shape()
+    }
+
+    /// Scalar value of a `(1,1)` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1x1`.
+    pub fn item(&self) -> f32 {
+        let v = self.node.value.borrow();
+        assert_eq!(v.shape(), (1, 1), "item: tensor is not a scalar");
+        v.data()[0]
+    }
+
+    /// Replaces the forward value in place (used by optimizers and proximal
+    /// projections on leaves).
+    ///
+    /// # Panics
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Matrix) {
+        let mut v = self.node.value.borrow_mut();
+        assert_eq!(v.shape(), value.shape(), "set_value: shape mismatch");
+        *v = value;
+    }
+
+    /// Applies `f` to the stored value in place.
+    pub fn update_value(&self, f: impl FnOnce(&mut Matrix)) {
+        f(&mut self.node.value.borrow_mut());
+    }
+
+    /// Owned copy of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.node.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.node.grad.borrow_mut() = None;
+    }
+
+    /// Accumulates `g` into this node's gradient buffer.
+    pub(crate) fn accum_grad(&self, g: &Matrix) {
+        if !self.node.requires_grad {
+            return;
+        }
+        let mut slot = self.node.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => existing.add_assign(g),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Detaches from the graph: returns a constant leaf sharing no history
+    /// with `self` (value is copied).
+    pub fn detach(&self) -> Tensor {
+        Tensor::constant(self.to_matrix())
+    }
+
+    /// Runs reverse-mode differentiation from this scalar.
+    ///
+    /// Gradients accumulate into every reachable tensor with
+    /// `requires_grad == true`; call [`Tensor::zero_grad`] on parameters
+    /// between steps.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1x1`.
+    pub fn backward(&self) {
+        assert_eq!(self.shape(), (1, 1), "backward: loss must be a scalar");
+        self.backward_with(Matrix::ones(1, 1));
+    }
+
+    /// Reverse-mode differentiation seeded with an explicit upstream
+    /// gradient (any shape matching this tensor).
+    pub fn backward_with(&self, seed: Matrix) {
+        assert_eq!(self.shape(), seed.shape(), "backward_with: seed shape mismatch");
+        if !self.node.requires_grad {
+            return;
+        }
+        let order = self.topo_order();
+        self.accum_grad(&seed);
+        for t in order.iter().rev() {
+            let grad = t.node.grad.borrow().clone();
+            if let (Some(g), Some(f)) = (grad, t.node.backward.as_ref()) {
+                f(&g);
+            }
+            // Intermediate (non-leaf) gradients are no longer needed once
+            // their backward closure has fired; dropping them bounds peak
+            // memory on long chains.
+            if t.node.backward.is_some() {
+                *t.node.grad.borrow_mut() = None;
+            }
+        }
+    }
+
+    /// Iterative post-order DFS over the requires-grad subgraph.
+    fn topo_order(&self) -> Vec<Tensor> {
+        let mut order = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        // Stack of (tensor, child_cursor).
+        let mut stack: Vec<(Tensor, usize)> = vec![(self.clone(), 0)];
+        visited.insert(self.node.id);
+        while let Some((t, cursor)) = stack.pop() {
+            let parents = &t.node.parents;
+            if cursor < parents.len() {
+                let child = parents[cursor].clone();
+                stack.push((t, cursor + 1));
+                if child.node.requires_grad && visited.insert(child.node.id) {
+                    stack.push((child, 0));
+                }
+            } else {
+                order.push(t);
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_properties() {
+        let p = Tensor::param(Matrix::ones(2, 2));
+        assert!(p.requires_grad());
+        assert_eq!(p.shape(), (2, 2));
+        assert!(p.grad().is_none());
+        let c = Tensor::constant(Matrix::ones(1, 1));
+        assert!(!c.requires_grad());
+        assert_eq!(c.item(), 1.0);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Tensor::param(Matrix::zeros(1, 1));
+        let q = p.clone();
+        p.set_value(Matrix::from_vec(1, 1, vec![7.0]));
+        assert_eq!(q.item(), 7.0);
+    }
+
+    #[test]
+    fn no_grad_produces_constants() {
+        let p = Tensor::param(Matrix::ones(1, 1));
+        let out = no_grad(|| p.add(&p));
+        assert!(!out.requires_grad());
+        assert!(grad_enabled(), "flag must be restored");
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let p = Tensor::param(Matrix::ones(1, 1));
+        let l1 = p.add(&p); // 2p
+        l1.backward();
+        let l2 = p.add(&p);
+        l2.backward();
+        assert_eq!(p.grad().unwrap().data()[0], 4.0);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_once_per_path() {
+        // y = p + p uses p twice; dy/dp = 2.
+        let p = Tensor::param(Matrix::from_vec(1, 1, vec![3.0]));
+        let y = p.add(&p);
+        y.backward();
+        assert_eq!(p.grad().unwrap().data()[0], 2.0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let p = Tensor::param(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut x = p.clone();
+        for _ in 0..50_000 {
+            x = x.scale(1.0);
+        }
+        x.backward();
+        assert_eq!(p.grad().unwrap().data()[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward: loss must be a scalar")]
+    fn backward_rejects_non_scalar() {
+        let p = Tensor::param(Matrix::ones(2, 2));
+        p.add(&p).backward();
+    }
+}

@@ -1,0 +1,769 @@
+//! Dense row-major `f32` matrix with the kernels needed by the GNN stack.
+//!
+//! This is deliberately a 2-D-only type: every quantity in the AutoAC
+//! pipeline (node-feature blocks, weight matrices, per-edge feature blocks,
+//! completion parameters) is naturally a matrix, and vectors are represented
+//! as `(n, 1)` or `(1, n)` matrices. Keeping a single concrete layout keeps
+//! the kernels simple and cache-friendly.
+
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices (test helper).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ---------------------------------------------------------------------
+
+    fn assert_same_shape(&self, other: &Matrix, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "add");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place elementwise accumulation: `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulation: `self += scale * other` (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
+        self.assert_same_shape(other, "add_scaled_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "sub");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "mul");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "div");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a / b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place scalar multiple.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Elementwise combine of two same-shape matrices.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        self.assert_same_shape(other, "zip_map");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    // ---------------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------------
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses an ikj loop order so the inner loop streams contiguously over
+    /// both the `other` row and the output row; this vectorizes well and is
+    /// the single hottest kernel in the whole stack.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimension mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: leading dimension mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: trailing dimension mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------------
+
+    /// Sum over all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean over all elements (0 for empty matrices).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Row sums as an `(rows, 1)` matrix.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Column sums as a `(1, cols)` matrix.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Maximum element (NaN-ignoring; `-inf` for empty matrices).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element in row `r`.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frob(&self) -> f32 {
+        self.frob_sq().sqrt()
+    }
+
+    // ---------------------------------------------------------------------
+    // Row indexing kernels (the backbone of message passing)
+    // ---------------------------------------------------------------------
+
+    /// Gathers rows by index: `out[i] = self[idx[i]]`.
+    pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &src) in idx.iter().enumerate() {
+            let src = src as usize;
+            debug_assert!(src < self.rows, "gather_rows: index {src} out of bounds");
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Scatter-adds rows by index into a fresh `(num_out, cols)` matrix:
+    /// `out[idx[i]] += self[i]`.
+    pub fn scatter_add_rows(&self, idx: &[u32], num_out: usize) -> Matrix {
+        assert_eq!(idx.len(), self.rows, "scatter_add_rows: index length mismatch");
+        let mut out = Matrix::zeros(num_out, self.cols);
+        for (i, &dst) in idx.iter().enumerate() {
+            let dst = dst as usize;
+            debug_assert!(dst < num_out, "scatter_add_rows: index {dst} out of bounds");
+            let src = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[dst * self.cols..(dst + 1) * self.cols];
+            for (o, &s) in out_row.iter_mut().zip(src) {
+                *o += s;
+            }
+        }
+        out
+    }
+
+    /// Copies selected rows into a new matrix (clone of `gather_rows` for
+    /// `usize` indices, used by dataset splits).
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &src) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols: empty input");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols: row count mismatch");
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            let out_row = &mut out.data[r * cols..(r + 1) * cols];
+            for p in parts {
+                out_row[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertically concatenates matrices with equal column counts.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows: empty input");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows: column count mismatch");
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Extracts the column block `[start, start+len)`.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.cols, "slice_cols: out of bounds");
+        let mut out = Matrix::zeros(self.rows, len);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
+        }
+        out
+    }
+
+    /// Adds a `(1, cols)` row vector to every row.
+    pub fn add_row_vec(&self, v: &Matrix) -> Matrix {
+        assert_eq!(v.rows, 1, "add_row_vec: expected a row vector");
+        assert_eq!(v.cols, self.cols, "add_row_vec: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&v.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies each row by the matching entry of a `(rows, 1)` column
+    /// vector.
+    pub fn mul_col_vec(&self, v: &Matrix) -> Matrix {
+        assert_eq!(v.cols, 1, "mul_col_vec: expected a column vector");
+        assert_eq!(v.rows, self.rows, "mul_col_vec: height mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let s = v.data[r];
+            for o in out.row_mut(r) {
+                *o *= s;
+            }
+        }
+        out
+    }
+
+    /// Per-row dot product of two same-shape matrices, as `(rows, 1)`.
+    pub fn rowwise_dot(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "rowwise_dot");
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = dot(self.row(r), other.row(r));
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------------
+    // Row-softmax family (numerically stabilized)
+    // ---------------------------------------------------------------------
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx;
+            for v in row {
+                *v -= lse;
+            }
+        }
+        out
+    }
+
+    /// Checks that every element is finite; returns the first offending
+    /// coordinate otherwise.
+    pub fn check_finite(&self) -> Result<(), (usize, usize, f32)> {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.get(r, c);
+                if !v.is_finite() {
+                    return Err((r, c, v));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Numerically stable in-place softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - mx).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let m = Matrix::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
+        let i = Matrix::eye(3);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0]]);
+        let direct = a.transpose().matmul(&b);
+        assert_eq!(a.matmul_tn(&b), direct);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, 2.0], &[-1.0, 2.0, 0.0]]);
+        let direct = a.matmul(&b.transpose());
+        assert_eq!(a.matmul_nt(&b), direct);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[6.0, 8.0], &[10.0, 12.0]]));
+        assert_eq!(b.sub(&a), Matrix::from_rows(&[&[4.0, 4.0], &[4.0, 4.0]]));
+        assert_eq!(a.mul(&b), Matrix::from_rows(&[&[5.0, 12.0], &[21.0, 32.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.sum_rows(), Matrix::from_rows(&[&[3.0], &[7.0]]));
+        assert_eq!(m.sum_cols(), Matrix::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.argmax_row(0), 1);
+        assert!((m.frob() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_and_scatter_are_adjoint() {
+        // <gather(X, idx), Y> == <X, scatter(Y, idx)> — the adjoint identity
+        // that autograd relies on.
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let idx = vec![2u32, 0, 2, 1];
+        let y = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.5], &[0.0, 1.0], &[3.0, 3.0]]);
+        let lhs = x.gather_rows(&idx).mul(&y).sum();
+        let rhs = x.mul(&y.scatter_add_rows(&idx, 3)).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let src = Matrix::from_rows(&[&[1.0], &[2.0], &[4.0]]);
+        let out = src.scatter_add_rows(&[1, 1, 0], 3);
+        assert_eq!(out, Matrix::from_rows(&[&[4.0], &[3.0], &[0.0]]));
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c, Matrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_cols_extracts_block() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.slice_cols(1, 2), Matrix::from_rows(&[&[2.0, 3.0], &[5.0, 6.0]]));
+    }
+
+    #[test]
+    fn broadcast_helpers() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Matrix::from_rows(&[&[10.0, 20.0]]);
+        assert_eq!(m.add_row_vec(&bias), Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        let col = Matrix::from_rows(&[&[2.0], &[0.5]]);
+        assert_eq!(m.mul_col_vec(&col), Matrix::from_rows(&[&[2.0, 4.0], &[1.5, 2.0]]));
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+        // Large inputs must not overflow thanks to the max-shift.
+        assert!(s.check_finite().is_ok());
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let m = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let a = m.log_softmax_rows();
+        let b = m.softmax_rows().map(f32::ln);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rowwise_dot_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.rowwise_dot(&b), Matrix::from_rows(&[&[17.0], &[53.0]]));
+    }
+
+    #[test]
+    fn check_finite_reports_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, f32::NAN);
+        assert_eq!(m.check_finite().map_err(|(r, c, _)| (r, c)), Err((1, 0)));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,225 @@
+//! Differentiable arithmetic and linear-algebra ops.
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+
+impl Tensor {
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let value = self.value().add(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(g);
+                b.accum_grad(g);
+            }),
+        )
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let value = self.value().sub(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(g);
+                b.accum_grad(&g.scale(-1.0));
+            }),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        let value = self.value().mul(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        let (av, bv) = (self.to_matrix(), other.to_matrix());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&g.mul(&bv));
+                b.accum_grad(&g.mul(&av));
+            }),
+        )
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let value = self.value().scale(s);
+        let a = self.clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.scale(s))),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Tensor {
+        self.scale(-1.0)
+    }
+
+    /// Adds a scalar offset to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let value = self.value().map(|v| v + s);
+        let a = self.clone();
+        Tensor::from_op(value, vec![self.clone()], Box::new(move |g| a.accum_grad(g)))
+    }
+
+    /// Multiplies every element by a trainable `(1,1)` scalar tensor.
+    pub fn mul_scalar_tensor(&self, s: &Tensor) -> Tensor {
+        assert_eq!(s.shape(), (1, 1), "mul_scalar_tensor: scalar must be (1,1)");
+        let sv = s.item();
+        let value = self.value().scale(sv);
+        let (a, b) = (self.clone(), s.clone());
+        let av = self.to_matrix();
+        Tensor::from_op(
+            value,
+            vec![self.clone(), s.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&g.scale(sv));
+                let ds = g.mul(&av).sum();
+                b.accum_grad(&Matrix::from_vec(1, 1, vec![ds]));
+            }),
+        )
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let value = self.value().matmul(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        let (av, bv) = (self.to_matrix(), other.to_matrix());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // dA = g · Bᵀ ; dB = Aᵀ · g
+                a.accum_grad(&g.matmul_nt(&bv));
+                b.accum_grad(&av.matmul_tn(g));
+            }),
+        )
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let value = self.value().transpose();
+        let a = self.clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.transpose())),
+        )
+    }
+
+    /// Adds a `(1, cols)` bias row to every row.
+    pub fn add_row_vec(&self, bias: &Tensor) -> Tensor {
+        let value = self.value().add_row_vec(&bias.value());
+        let (a, b) = (self.clone(), bias.clone());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), bias.clone()],
+            Box::new(move |g| {
+                a.accum_grad(g);
+                b.accum_grad(&g.sum_cols());
+            }),
+        )
+    }
+
+    /// Multiplies each row by the matching entry of a `(rows, 1)` column
+    /// vector (per-row scaling, e.g. attention weights applied to messages).
+    pub fn mul_col_vec(&self, col: &Tensor) -> Tensor {
+        let value = self.value().mul_col_vec(&col.value());
+        let (a, b) = (self.clone(), col.clone());
+        let (av, bv) = (self.to_matrix(), col.to_matrix());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), col.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&g.mul_col_vec(&bv));
+                b.accum_grad(&g.rowwise_dot(&av));
+            }),
+        )
+    }
+
+    /// Per-row dot product with another same-shape tensor, as `(rows, 1)`.
+    pub fn rowwise_dot(&self, other: &Tensor) -> Tensor {
+        let value = self.value().rowwise_dot(&other.value());
+        let (a, b) = (self.clone(), other.clone());
+        let (av, bv) = (self.to_matrix(), other.to_matrix());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&bv.mul_col_vec(g));
+                b.accum_grad(&av.mul_col_vec(g));
+            }),
+        )
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        let values: Vec<Matrix> = parts.iter().map(|p| p.to_matrix()).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let value = Matrix::concat_cols(&refs);
+        let owned: Vec<Tensor> = parts.iter().map(|&p| p.clone()).collect();
+        let widths: Vec<usize> = values.iter().map(|v| v.cols()).collect();
+        let captured = owned.clone();
+        Tensor::from_op(
+            value,
+            owned,
+            Box::new(move |g| {
+                let mut off = 0;
+                for (p, &w) in captured.iter().zip(&widths) {
+                    p.accum_grad(&g.slice_cols(off, w));
+                    off += w;
+                }
+            }),
+        )
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        let values: Vec<Matrix> = parts.iter().map(|p| p.to_matrix()).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let value = Matrix::concat_rows(&refs);
+        let owned: Vec<Tensor> = parts.iter().map(|&p| p.clone()).collect();
+        let heights: Vec<usize> = values.iter().map(|v| v.rows()).collect();
+        let captured = owned.clone();
+        Tensor::from_op(
+            value,
+            owned,
+            Box::new(move |g| {
+                let mut off = 0;
+                for (p, &h) in captured.iter().zip(&heights) {
+                    let cols = g.cols();
+                    let block =
+                        Matrix::from_vec(h, cols, g.data()[off * cols..(off + h) * cols].to_vec());
+                    p.accum_grad(&block);
+                    off += h;
+                }
+            }),
+        )
+    }
+
+    /// Extracts the column block `[start, start+len)`.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
+        let value = self.value().slice_cols(start, len);
+        let a = self.clone();
+        let (rows, cols) = self.shape();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut padded = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    padded.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
+                }
+                a.accum_grad(&padded);
+            }),
+        )
+    }
+}

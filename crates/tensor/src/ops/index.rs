@@ -1,0 +1,106 @@
+//! Differentiable row-indexing ops: gather / scatter-add / embedding lookup
+//! and grouped (per-destination) softmax — the primitives behind all
+//! message-passing and attention layers in the GNN stack.
+
+use std::rc::Rc;
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+
+impl Tensor {
+    /// Gathers rows by index: `out[i] = self[idx[i]]`. Duplicate indices are
+    /// allowed; gradients scatter-add back.
+    pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
+        let (rows, _) = self.shape();
+        let value = self.value().gather_rows(idx);
+        let a = self.clone();
+        let idx: Rc<[u32]> = idx.into();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&g.scatter_add_rows(&idx, rows));
+            }),
+        )
+    }
+
+    /// Scatter-adds rows by index into a `(num_out, cols)` tensor:
+    /// `out[idx[i]] += self[i]`. The adjoint of [`Tensor::gather_rows`].
+    pub fn scatter_add_rows(&self, idx: &[u32], num_out: usize) -> Tensor {
+        let value = self.value().scatter_add_rows(idx, num_out);
+        let a = self.clone();
+        let idx: Rc<[u32]> = idx.into();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&g.gather_rows(&idx));
+            }),
+        )
+    }
+
+    /// Mean-aggregates rows into groups: `out[k] = mean of self rows with
+    /// idx == k` (zero row for empty groups).
+    pub fn segment_mean(&self, idx: &[u32], num_out: usize) -> Tensor {
+        let mut counts = vec![0.0f32; num_out];
+        for &i in idx {
+            counts[i as usize] += 1.0;
+        }
+        let inv = Matrix::from_vec(
+            num_out,
+            1,
+            counts.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect(),
+        );
+        let summed = self.scatter_add_rows(idx, num_out);
+        summed.mul_col_vec(&Tensor::constant(inv))
+    }
+
+    /// Grouped softmax over a `(E, 1)` score column: scores sharing the same
+    /// `group[i]` are softmax-normalized together. This is the edge-softmax
+    /// used by attention GNNs (groups = destination nodes).
+    pub fn group_softmax(&self, group: &[u32], num_groups: usize) -> Tensor {
+        let (rows, cols) = self.shape();
+        assert_eq!(cols, 1, "group_softmax: expected an (E, 1) score column");
+        assert_eq!(rows, group.len(), "group_softmax: group length mismatch");
+        let x = self.to_matrix();
+        // Numerically stable per-group softmax: subtract per-group max.
+        let mut gmax = vec![f32::NEG_INFINITY; num_groups];
+        for (i, &gid) in group.iter().enumerate() {
+            let gid = gid as usize;
+            gmax[gid] = gmax[gid].max(x.data()[i]);
+        }
+        let mut out = Matrix::zeros(rows, 1);
+        let mut gsum = vec![0.0f32; num_groups];
+        for (i, &gid) in group.iter().enumerate() {
+            let gid = gid as usize;
+            let e = (x.data()[i] - gmax[gid]).exp();
+            out.data_mut()[i] = e;
+            gsum[gid] += e;
+        }
+        for (i, &gid) in group.iter().enumerate() {
+            let s = gsum[gid as usize];
+            if s > 0.0 {
+                out.data_mut()[i] /= s;
+            }
+        }
+        let y = out.clone();
+        let a = self.clone();
+        let group: Rc<[u32]> = group.into();
+        Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                // Within each group: dx_i = y_i (g_i − Σ_j y_j g_j).
+                let mut inner = vec![0.0f32; num_groups];
+                for (i, &gid) in group.iter().enumerate() {
+                    inner[gid as usize] += y.data()[i] * g.data()[i];
+                }
+                let mut dx = Matrix::zeros(y.rows(), 1);
+                for (i, &gid) in group.iter().enumerate() {
+                    dx.data_mut()[i] = y.data()[i] * (g.data()[i] - inner[gid as usize]);
+                }
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+}

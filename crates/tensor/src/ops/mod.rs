@@ -1,0 +1,7 @@
+//! Differentiable op implementations on [`crate::Tensor`], grouped by kind.
+
+mod activation;
+mod arith;
+mod index;
+mod loss;
+mod reduce;

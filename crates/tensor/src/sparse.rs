@@ -1,0 +1,250 @@
+//! Compressed-sparse-row matrices and the differentiable sparse-dense
+//! product (`spmm`) used for graph convolutions and PPNP propagation.
+
+use std::rc::Rc;
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+
+/// Immutable CSR matrix of `f32` weights.
+///
+/// Built once per graph (adjacency, normalized adjacency, …) and shared via
+/// [`Rc`]; the autograd closures clone the `Rc`, never the buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds from COO triplets. Duplicate coordinates are summed.
+    pub fn from_coo(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> Self {
+        let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_rows];
+        for (r, c, v) in triplets {
+            assert!((r as usize) < n_rows, "from_coo: row {r} out of bounds");
+            assert!((c as usize) < n_cols, "from_coo: col {c} out of bounds");
+            rows[r as usize].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(n_rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut last: Option<u32> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *values.last_mut().expect("value present for duplicate") += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last = Some(c);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self { n_rows, n_cols, indptr, indices, values }
+    }
+
+    /// Identity matrix in CSR form.
+    pub fn eye(n: usize) -> Self {
+        Self::from_coo(n, n, (0..n as u32).map(|i| (i, i, 1.0)))
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, weight)` of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        self.indices[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+    }
+
+    /// Out-degree (stored entry count) per row.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Weighted row sums (`A · 1`).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.n_rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Transposed copy (CSC view rebuilt as CSR).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                let slot = cursor[c as usize];
+                indices[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices, values }
+    }
+
+    /// Dense sparse-dense product `A · X` on raw matrices.
+    pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            self.n_cols,
+            x.rows(),
+            "spmm: inner dimension mismatch ({} vs {})",
+            self.n_cols,
+            x.rows()
+        );
+        let cols = x.cols();
+        let mut out = Matrix::zeros(self.n_rows, cols);
+        for r in 0..self.n_rows {
+            let out_row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+            for (self_c, v) in
+                self.indices[self.indptr[r]..self.indptr[r + 1]].iter().zip(&self.values[self.indptr[r]..self.indptr[r + 1]])
+            {
+                let x_row = x.row(*self_c as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense materialization (test helper; avoid for real graphs).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                m.set(r, c as usize, v);
+            }
+        }
+        m
+    }
+}
+
+/// Differentiable sparse-dense product `out = A · x`.
+///
+/// The sparse structure is constant; gradients flow into `x` only
+/// (`dx = Aᵀ · g`). Pass the precomputed transpose — for symmetric operators
+/// (e.g. symmetrically normalized adjacency) simply pass the same `Rc` twice.
+pub fn spmm(a: &Rc<Csr>, a_t: &Rc<Csr>, x: &Tensor) -> Tensor {
+    debug_assert_eq!(a.n_rows(), a_t.n_cols(), "spmm: transpose shape mismatch");
+    debug_assert_eq!(a.n_cols(), a_t.n_rows(), "spmm: transpose shape mismatch");
+    let value = a.matmul_dense(&x.value());
+    let xt = x.clone();
+    let a_t = Rc::clone(a_t);
+    Tensor::from_op(
+        value,
+        vec![x.clone()],
+        Box::new(move |g| {
+            xt.accum_grad(&a_t.matmul_dense(g));
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[0, 2, 0],
+        //  [1, 0, 3],
+        //  [0, 0, 0],
+        //  [4, 5, 6]]
+        Csr::from_coo(
+            4,
+            3,
+            vec![(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (3, 0, 4.0), (3, 1, 5.0), (3, 2, 6.0)],
+        )
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let c = Csr::from_coo(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.to_dense(), Matrix::from_rows(&[&[3.5, 0.0], &[0.0, 1.0]]));
+    }
+
+    #[test]
+    fn row_iteration_sorted() {
+        let c = sample();
+        let row3: Vec<_> = c.row(3).collect();
+        assert_eq!(row3, vec![(0, 4.0), (1, 5.0), (2, 6.0)]);
+        assert_eq!(c.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense_product() {
+        let c = sample();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let got = c.matmul_dense(&x);
+        let want = c.to_dense().matmul(&x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let c = sample();
+        assert_eq!(c.transpose().to_dense(), c.to_dense().transpose());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let c = sample();
+        assert_eq!(c.transpose().transpose(), c);
+    }
+
+    #[test]
+    fn row_sums_values() {
+        let c = sample();
+        assert_eq!(c.row_sums(), vec![2.0, 4.0, 0.0, 15.0]);
+    }
+
+    #[test]
+    fn eye_acts_as_identity() {
+        let i = Csr::eye(3);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(i.matmul_dense(&x), x);
+    }
+
+    #[test]
+    fn spmm_gradient_is_transpose_product() {
+        let a = Rc::new(sample());
+        let at = Rc::new(a.transpose());
+        let x = Tensor::param(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let out = spmm(&a, &at, &x);
+        out.sum().backward();
+        // d/dx sum(A x) = Aᵀ · 1
+        let ones = Matrix::ones(4, 2);
+        let want = at.matmul_dense(&ones);
+        assert_eq!(x.grad().unwrap(), want);
+    }
+}

@@ -1,0 +1,83 @@
+//! A look inside the search: runs the AutoAC search stage alone on ACM and
+//! inspects what it produces — the α matrix, cluster occupancy, per-type
+//! op choices, and the clustering-loss trace (the raw material of the
+//! paper's Figures 4–7).
+//!
+//! ```sh
+//! cargo run --release --example completion_search
+//! ```
+
+use autoac::core::search as run_search;
+use autoac::prelude::*;
+
+fn main() {
+    let data = synth::generate(&presets::acm(), Scale::Tiny, 1);
+    println!("{}\n", data.stats_row());
+
+    let gnn = GnnConfig {
+        in_dim: 32,
+        hidden: 32,
+        out_dim: data.num_classes,
+        layers: 2,
+        dropout: 0.3,
+        ..Default::default()
+    };
+    let ac = AutoAcConfig {
+        clusters: 6,
+        lambda: 0.4,
+        search_epochs: 25,
+        ..Default::default()
+    };
+    let task = ClassificationTask::new(&data);
+    let out = run_search(&data, Backbone::SimpleHgn, &gnn, &ac, &task, 1);
+
+    println!("searched in {:.2}s over {} V⁻ nodes\n", out.search_seconds, out.assignment.len());
+
+    println!("alpha (clusters × ops), after prox_C2:");
+    for r in 0..out.alpha.rows() {
+        let cells: Vec<String> =
+            out.alpha.row(r).iter().map(|v| format!("{v:.3}")).collect();
+        let chosen = CompletionOp::from_index(out.alpha.argmax_row(r));
+        println!("  cluster {r}: [{}] -> {}", cells.join(", "), chosen.name());
+    }
+
+    println!("\ncluster occupancy:");
+    let mut occupancy = vec![0usize; ac.clusters];
+    for &c in &out.cluster_of {
+        occupancy[c as usize] += 1;
+    }
+    for (c, n) in occupancy.iter().enumerate() {
+        println!("  cluster {c}: {n} nodes");
+    }
+
+    println!("\nper-node-type op distribution:");
+    let missing = data.missing_nodes();
+    for t in 0..data.graph.num_node_types() {
+        let range = data.graph.nodes_of_type(t);
+        let mut counts = [0usize; 4];
+        for (pos, &v) in missing.iter().enumerate() {
+            if range.contains(&(v as usize)) {
+                counts[out.assignment[pos].index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let parts: Vec<String> = CompletionOp::ALL
+            .iter()
+            .map(|op| {
+                format!("{} {:.0}%", op.name(), 100.0 * counts[op.index()] as f64 / total as f64)
+            })
+            .collect();
+        println!("  {:<8}: {}", data.graph.node_type_name(t), parts.join(", "));
+    }
+
+    println!("\nL_GmoC trace (first/last 5):");
+    let k = out.gmoc_trace.len();
+    for (e, v) in out.gmoc_trace.iter().enumerate() {
+        if e < 5 || e + 5 >= k {
+            println!("  epoch {e:>3}: {v:.5}");
+        }
+    }
+}

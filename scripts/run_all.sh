@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+#
+# Usage: scripts/run_all.sh [small|tiny|paper] [seeds]
+# Defaults sized for a single CPU core (~2h at "small"/3 with the main
+# tables at small scale and the sensitivity sweeps at tiny scale).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+SEEDS="${2:-3}"
+B=./target/release
+mkdir -p results
+
+cargo build --release -p autoac-bench --bins
+
+$B/table1_datasets --scale paper                                                          | tee results/table1.txt
+$B/table2_node_classification --scale "$SCALE" --seeds "$SEEDS" --epochs 80 --search-epochs 25 | tee results/table2.txt
+$B/table3_vs_hgnnac           --scale "$SCALE" --seeds "$SEEDS" --epochs 60 --search-epochs 25 | tee results/table3.txt
+$B/table4_runtime             --scale "$SCALE" --seeds 1        --epochs 60 --search-epochs 25 | tee results/table4.txt
+$B/table5_link_prediction     --scale "$SCALE" --seeds 2        --epochs 60 --search-epochs 20 | tee results/table5.txt
+$B/table6_7_ablation_ops      --scale "$SCALE" --seeds 2        --epochs 60 --search-epochs 25 | tee results/table6_7.txt
+$B/table8_discrete_constraints --scale "$SCALE" --seeds 2       --epochs 60 --search-epochs 25 | tee results/table8.txt
+$B/table9_missing_rates       --scale tiny     --seeds 2        --epochs 60 --search-epochs 20 | tee results/table9.txt
+$B/table10_masked_edges       --scale tiny     --seeds 2        --epochs 60 --search-epochs 20 | tee results/table10.txt
+$B/fig3_clustering_methods    --scale tiny     --seeds 2        --epochs 50 --search-epochs 20 | tee results/fig3.txt
+$B/fig4_gmoc_convergence      --scale "$SCALE"                  --epochs 60 --search-epochs 30 | tee results/fig4.txt
+$B/fig5_op_distribution       --scale "$SCALE"                  --epochs 60 --search-epochs 30 | tee results/fig5.txt
+$B/fig6_7_per_type_distribution --scale "$SCALE"                --epochs 60 --search-epochs 30 | tee results/fig6_7.txt
+$B/fig8_sensitivity_m         --scale tiny     --seeds 2        --epochs 50 --search-epochs 20 | tee results/fig8.txt
+$B/fig9_sensitivity_lambda    --scale tiny     --seeds 2        --epochs 50 --search-epochs 20 | tee results/fig9.txt
+$B/fig10_11_lr_wd_sensitivity --scale tiny     --seeds 2        --epochs 50 --search-epochs 20 | tee results/fig10_11.txt
+$B/ablation_ppnp_k            --scale tiny     --seeds 2        --epochs 50                    | tee results/ablation_ppnp_k.txt
+$B/ablation_warmup            --scale tiny     --seeds 2        --epochs 50 --search-epochs 20 | tee results/ablation_warmup.txt
+
+echo "all experiments written to results/"

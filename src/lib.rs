@@ -1,0 +1,45 @@
+//! # autoac
+//!
+//! Facade crate for the AutoAC reproduction: re-exports the tensor engine,
+//! graph substrate, datasets, GNN zoo, completion search space, metrics,
+//! and the AutoAC search itself under one roof.
+//!
+//! ```no_run
+//! use autoac::prelude::*;
+//!
+//! let data = synth::generate(&presets::imdb(), Scale::Small, 0);
+//! let gnn = GnnConfig { out_dim: data.num_classes, ..Default::default() };
+//! let run = run_autoac_classification(
+//!     &data, Backbone::SimpleHgn, &gnn, &AutoAcConfig::default(), 0);
+//! println!("Macro-F1 {:.4} / Micro-F1 {:.4}",
+//!     run.outcome.macro_f1, run.outcome.micro_f1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use autoac_completion as completion;
+pub use autoac_core as core;
+pub use autoac_data as data;
+pub use autoac_eval as eval;
+pub use autoac_graph as graph;
+pub use autoac_nn as nn;
+pub use autoac_tensor as tensor;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use autoac_completion::{CompletionContext, CompletionOp, CompletionOps};
+    pub use autoac_core::{
+        run_autoac_classification, run_autoac_link_prediction, run_hgnnac_classification,
+        search, AutoAcConfig, Backbone, ClassificationTask, ClusteringMode, CompletionMode,
+        ForwardPipe, HgnnAcConfig, LinkPredictionTask, Pipeline, TrainConfig,
+    };
+    pub use autoac_core::trainer::{
+        eval_classification, eval_link_prediction, train_link_prediction,
+        train_node_classification,
+    };
+    pub use autoac_data::{mask_edges, presets, synth, Dataset, Scale, Split};
+    pub use autoac_eval::{f1_scores, mrr, roc_auc, welch_t_test};
+    pub use autoac_graph::{Adjacency, HeteroGraph};
+    pub use autoac_nn::{Forward, Gnn, GnnConfig};
+    pub use autoac_tensor::{Matrix, Tensor};
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the full AutoAC pipeline from dataset
+//! generation through search, retraining, and evaluation.
+
+use autoac::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny(name: &str, seed: u64) -> Dataset {
+    synth::generate(&presets::by_name(name).unwrap(), Scale::Tiny, seed)
+}
+
+fn gnn_for(data: &Dataset) -> GnnConfig {
+    GnnConfig {
+        in_dim: 24,
+        hidden: 24,
+        out_dim: data.num_classes.max(2),
+        layers: 2,
+        dropout: 0.2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn autoac_end_to_end_on_every_classification_dataset() {
+    for name in ["dblp", "acm", "imdb"] {
+        let data = tiny(name, 0);
+        let gnn = gnn_for(&data);
+        let ac = AutoAcConfig {
+            clusters: 4,
+            search_epochs: 8,
+            train: TrainConfig { epochs: 40, ..Default::default() },
+            ..Default::default()
+        };
+        let run = run_autoac_classification(&data, Backbone::SimpleHgn, &gnn, &ac, 0);
+        let chance = 1.0 / data.num_classes as f64;
+        assert!(
+            run.outcome.micro_f1 > chance + 0.1,
+            "{name}: micro-f1 {:.3} vs chance {chance:.3}",
+            run.outcome.micro_f1
+        );
+        assert_eq!(run.search.assignment.len(), data.missing_nodes().len(), "{name}");
+        assert!(run.outcome.macro_f1 > 0.0 && run.outcome.macro_f1 <= 1.0);
+    }
+}
+
+#[test]
+fn autoac_completion_competitive_with_zero_fill_on_dblp() {
+    // DBLP's target type has no attributes: completion must matter. The
+    // tiny test split (~90 authors) is noisy, so compare seed-averaged
+    // scores with a tolerance; the real comparison runs at `small` scale
+    // in the Table II/VI harness.
+    let data = tiny("dblp", 1);
+    let gnn = gnn_for(&data);
+    let train = TrainConfig { epochs: 60, ..Default::default() };
+    let mut zero_scores = Vec::new();
+    let mut auto_scores = Vec::new();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zero_pipe =
+            Pipeline::new(&data, Backbone::SimpleHgn, &gnn, CompletionMode::Zero, &mut rng);
+        zero_scores.push(train_node_classification(&zero_pipe, &data, &train, seed).micro_f1);
+        let ac =
+            AutoAcConfig { clusters: 4, search_epochs: 15, train, ..Default::default() };
+        let auto = run_autoac_classification(&data, Backbone::SimpleHgn, &gnn, &ac, seed);
+        auto_scores.push(auto.outcome.micro_f1);
+    }
+    let zero = autoac::eval::mean(&zero_scores);
+    let auto = autoac::eval::mean(&auto_scores);
+    // Tiny-scale DBLP has ~8 validation authors — far too few for the
+    // bi-level search to rank completion ops reliably, so AutoAC can trail
+    // simple baselines here (it wins at `small` scale; see Table II in
+    // EXPERIMENTS.md). The invariant this test protects is "no blow-up":
+    // the searched pipeline stays within a band of the zero-fill floor.
+    assert!(
+        auto >= zero - 0.12,
+        "AutoAC mean {auto:.3} fell too far below zero-fill mean {zero:.3}"
+    );
+}
+
+#[test]
+fn link_prediction_end_to_end() {
+    let data = tiny("lastfm", 2);
+    let mut rng = StdRng::seed_from_u64(2);
+    let split = mask_edges(&data, 0.1, &mut rng);
+    let gnn = GnnConfig { in_dim: 24, hidden: 24, out_dim: 24, layers: 2, ..Default::default() };
+    let ac = AutoAcConfig {
+        clusters: 4,
+        search_epochs: 6,
+        train: TrainConfig { epochs: 30, ..Default::default() },
+        ..Default::default()
+    };
+    let run = run_autoac_link_prediction(&split, Backbone::SimpleHgnLp, &gnn, &ac, 2);
+    assert!(run.outcome.roc_auc > 0.55, "auc {:.3}", run.outcome.roc_auc);
+    assert!(run.outcome.mrr > 0.0 && run.outcome.mrr <= 1.0);
+}
+
+#[test]
+fn hgnnac_baseline_end_to_end() {
+    let data = tiny("imdb", 3);
+    let gnn = gnn_for(&data);
+    let hc = HgnnAcConfig {
+        emb_dim: 16,
+        walk_len: 10,
+        walks_per_node: 2,
+        window: 3,
+        negatives: 2,
+        sg_epochs: 1,
+        ..Default::default()
+    };
+    let (prelearn, out) = run_hgnnac_classification(
+        &data,
+        Backbone::SimpleHgn,
+        &gnn,
+        &hc,
+        &TrainConfig { epochs: 40, ..Default::default() },
+        3,
+    );
+    assert!(prelearn > 0.0, "pre-learning must be timed");
+    let chance = 1.0 / data.num_classes as f64;
+    assert!(out.micro_f1 > chance, "micro {:.3}", out.micro_f1);
+}
+
+#[test]
+fn search_is_deterministic_per_seed() {
+    let data = tiny("imdb", 4);
+    let gnn = gnn_for(&data);
+    let ac = AutoAcConfig {
+        clusters: 4,
+        search_epochs: 5,
+        train: TrainConfig { epochs: 5, ..Default::default() },
+        ..Default::default()
+    };
+    let task = ClassificationTask::new(&data);
+    let a = search(&data, Backbone::Gcn, &gnn, &ac, &task, 42);
+    let b = search(&data, Backbone::Gcn, &gnn, &ac, &task, 42);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.cluster_of, b.cluster_of);
+    assert_eq!(a.alpha.data(), b.alpha.data());
+    let c = search(&data, Backbone::Gcn, &gnn, &ac, &task, 43);
+    assert!(
+        a.assignment != c.assignment || a.alpha.data() != c.alpha.data(),
+        "different seeds should explore differently"
+    );
+}
+
+#[test]
+fn every_backbone_survives_autoac_search() {
+    let data = tiny("imdb", 5);
+    let gnn = gnn_for(&data);
+    let ac = AutoAcConfig {
+        clusters: 4,
+        search_epochs: 3,
+        train: TrainConfig { epochs: 8, ..Default::default() },
+        ..Default::default()
+    };
+    for backbone in [
+        Backbone::Gcn,
+        Backbone::Gat,
+        Backbone::SimpleHgn,
+        Backbone::Magnn,
+        Backbone::Han,
+        Backbone::Hgt,
+        Backbone::HetGnn,
+        Backbone::Gtn,
+    ] {
+        let run = run_autoac_classification(&data, backbone, &gnn, &ac, 5);
+        assert!(
+            run.outcome.micro_f1.is_finite() && run.outcome.micro_f1 > 0.0,
+            "{:?}",
+            backbone
+        );
+    }
+}
+
+#[test]
+fn missing_rate_ladder_is_monotone_in_rate() {
+    let data = tiny("imdb", 6);
+    // Giving types one-hot features lowers the missing rate monotonically.
+    let inherent = data.missing_rate();
+    let one = data.with_onehot_features(3); // keyword
+    let two = one.with_onehot_features(2); // + actor
+    let three = two.with_onehot_features(1); // + director
+    assert!(inherent > one.missing_rate());
+    assert!(one.missing_rate() > two.missing_rate());
+    assert!(two.missing_rate() > three.missing_rate());
+    assert_eq!(three.missing_rate(), 0.0);
+}

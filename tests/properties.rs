@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) on the numerical core: autograd
+//! adjoint identities, proximal projections, sparse kernels, and metric
+//! invariants.
+
+use autoac::prelude::*;
+use autoac::tensor::Csr;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative_with_identity(m in small_matrix()) {
+        let i = Matrix::eye(m.cols());
+        prop_assert_eq!(m.matmul(&i), m.clone());
+        let i2 = Matrix::eye(m.rows());
+        prop_assert_eq!(i2.matmul(&m), m);
+    }
+
+    #[test]
+    fn transpose_product_identity(m in small_matrix()) {
+        // (A Aᵀ)ᵀ = A Aᵀ (symmetry).
+        let p = m.matmul_nt(&m);
+        let pt = p.transpose();
+        for (a, b) in p.data().iter().zip(pt.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix()) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn gather_scatter_adjoint(
+        rows in 2usize..8,
+        cols in 1usize..5,
+        idx in proptest::collection::vec(0u32..8, 1..12),
+    ) {
+        let idx: Vec<u32> = idx.into_iter().map(|i| i % rows as u32).collect();
+        let x = Matrix::full(rows, cols, 1.5);
+        let y = Matrix::full(idx.len(), cols, 2.0);
+        // <gather(x), y> == <x, scatter(y)>
+        let lhs = x.gather_rows(&idx).mul(&y).sum();
+        let rhs = x.mul(&y.scatter_add_rows(&idx, rows)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn csr_roundtrip_matches_dense(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        entries in proptest::collection::vec((0u32..6, 0u32..6, -5.0f32..5.0), 0..15),
+    ) {
+        let entries: Vec<(u32, u32, f32)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % rows as u32, c % cols as u32, v))
+            .collect();
+        let csr = Csr::from_coo(rows, cols, entries.clone());
+        let mut dense = Matrix::zeros(rows, cols);
+        for (r, c, v) in entries {
+            let cur = dense.get(r as usize, c as usize);
+            dense.set(r as usize, c as usize, cur + v);
+        }
+        let got = csr.to_dense();
+        for (a, b) in got.data().iter().zip(dense.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        // Transpose involution.
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn prox_c1_is_idempotent_and_in_c(m in small_matrix()) {
+        use autoac::core::proximal::{prox_c1, prox_c2};
+        let p = prox_c1(&m);
+        prop_assert_eq!(prox_c1(&p), p.clone());
+        // Lies in C = C1 ∩ C2.
+        for r in 0..p.rows() {
+            let nnz = p.row(r).iter().filter(|&&v| v != 0.0).count();
+            prop_assert_eq!(nnz, 1);
+        }
+        prop_assert_eq!(prox_c2(&p), p);
+    }
+
+    #[test]
+    fn prox_c2_is_a_projection(m in small_matrix()) {
+        use autoac::core::proximal::prox_c2;
+        let p = prox_c2(&m);
+        prop_assert_eq!(prox_c2(&p), p.clone());
+        prop_assert!(p.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Never moves a point already inside the box.
+        let inside = m.map(|v| v.abs().fract());
+        prop_assert_eq!(prox_c2(&inside), inside);
+    }
+
+    #[test]
+    fn f1_bounds_and_perfect(pred in proptest::collection::vec(0u32..4, 1..40)) {
+        let s = f1_scores(&pred, &pred, 4);
+        prop_assert_eq!(s.micro_f1, 1.0);
+        let shifted: Vec<u32> = pred.iter().map(|&p| (p + 1) % 4).collect();
+        let s2 = f1_scores(&shifted, &pred, 4);
+        prop_assert_eq!(s2.micro_f1, 0.0);
+        prop_assert!(s2.macro_f1 >= 0.0 && s2.macro_f1 <= 1.0);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transforms(
+        pos in proptest::collection::vec(-5.0f32..5.0, 2..10),
+        neg in proptest::collection::vec(-5.0f32..5.0, 2..10),
+    ) {
+        let mut scores: Vec<f32> = pos.iter().chain(neg.iter()).copied().collect();
+        let mut labels = vec![1.0f32; pos.len()];
+        labels.extend(std::iter::repeat_n(0.0, neg.len()));
+        let a1 = roc_auc(&scores, &labels);
+        // Monotone transform: sigmoid.
+        for s in &mut scores {
+            *s = 1.0 / (1.0 + (-*s).exp());
+        }
+        let a2 = roc_auc(&scores, &labels);
+        prop_assert!((a1 - a2).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+
+    #[test]
+    fn mrr_bounds(
+        pos in proptest::collection::vec(-5.0f32..5.0, 1..10),
+        neg in proptest::collection::vec(-5.0f32..5.0, 1..10),
+    ) {
+        let m = mrr(&pos, &neg);
+        prop_assert!(m > 0.0 && m <= 1.0, "mrr {m}");
+    }
+
+    #[test]
+    fn autograd_linearity(scale in -3.0f32..3.0, m in small_matrix()) {
+        // d/dx sum(s · x) = s everywhere.
+        let x = Tensor::param(m.clone());
+        x.scale(scale).sum().backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.data().iter().all(|&v| (v - scale).abs() < 1e-5));
+    }
+
+    #[test]
+    fn hgb_split_is_a_partition(n in 10usize..200) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let s = Split::hgb(0..n as u32, &mut rng);
+        let mut all: Vec<u32> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+        // Ratios within rounding error.
+        prop_assert!((s.train.len() as f64 - 0.24 * n as f64).abs() <= 1.0);
+        prop_assert!((s.val.len() as f64 - 0.06 * n as f64).abs() <= 1.0);
+    }
+}
