@@ -6,7 +6,8 @@ use autoac_completion::{CompletionContext, CompletionOp, CompletionOps};
 use autoac_core::cluster::ModularityContext;
 use autoac_core::proximal::{prox_c1, prox_c2};
 use autoac_data::{presets, synth, Scale};
-use autoac_graph::norm;
+use autoac_graph::{norm, OpCache};
+use autoac_tensor::parallel::with_threads;
 use autoac_tensor::{spmm, Matrix, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -101,10 +102,63 @@ fn bench_completion_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs. parallel CSR kernels (the tentpole comparison): the same
+/// `matmul_dense` / `transpose` under a pinned thread count of 1 against
+/// the hardware thread count. On a multi-core host the parallel rows
+/// should win ~linearly for the big SpMM; results are bitwise identical
+/// either way (see `crates/tensor/tests/parallel_parity.rs`).
+fn bench_spmm_serial_vs_parallel(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Small, 0);
+    let adj = Rc::new(norm::sym_norm_adj(&data.graph));
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = data.graph.num_nodes();
+    let x = autoac_tensor::init::random_normal(n, 64, 0.1, &mut rng);
+    let hw = autoac_tensor::parallel::num_threads().max(2);
+    let mut group = c.benchmark_group("spmm_threads");
+    group.sample_size(20);
+    group.bench_function("matmul_dense/serial_1", |b| {
+        b.iter(|| with_threads(1, || black_box(adj.matmul_dense(&x))))
+    });
+    group.bench_function(format!("matmul_dense/parallel_{hw}"), |b| {
+        b.iter(|| with_threads(hw, || black_box(adj.matmul_dense(&x))))
+    });
+    group.bench_function("transpose/serial_1", |b| {
+        b.iter(|| with_threads(1, || black_box(adj.transpose())))
+    });
+    group.bench_function(format!("transpose/parallel_{hw}"), |b| {
+        b.iter(|| with_threads(hw, || black_box(adj.transpose())))
+    });
+    group.finish();
+}
+
+/// Cold operator construction vs. fetching through a warm [`OpCache`]: the
+/// cached path is a HashMap probe plus an `Rc` clone, so the gap *is* the
+/// per-pipeline cost the cache removes from search + retrain runs.
+fn bench_op_cache(c: &mut Criterion) {
+    let data = synth::generate(&presets::imdb(), Scale::Small, 0);
+    let has = data.has_attr();
+    let mut group = c.benchmark_group("op_cache");
+    group.sample_size(20);
+    group.bench_function("completion_ctx/cold", |b| {
+        b.iter(|| black_box(CompletionContext::build(&data.graph, &has)))
+    });
+    let cache = OpCache::new(&data.graph);
+    let warm = CompletionContext::build_cached(&data.graph, &has, &cache);
+    drop(warm);
+    group.bench_function("completion_ctx/cached", |b| {
+        b.iter(|| black_box(CompletionContext::build_cached(&data.graph, &has, &cache)))
+    });
+    group.finish();
+    let (hits, misses) = cache.stats();
+    println!("op_cache stats after bench: {hits} hits / {misses} misses");
+}
+
 criterion_group!(
     kernels,
     bench_completion_ops,
     bench_spmm,
+    bench_spmm_serial_vs_parallel,
+    bench_op_cache,
     bench_edge_softmax,
     bench_proximal,
     bench_modularity_loss,

@@ -26,14 +26,7 @@ impl Transform {
 
 /// Returns a copy of `csr` with only the given rows kept (others emptied).
 pub fn restrict_rows(csr: &Csr, rows: &[u32]) -> Csr {
-    let keep: std::collections::HashSet<u32> = rows.iter().copied().collect();
-    let triplets = (0..csr.n_rows()).flat_map(|r| {
-        let is_kept = keep.contains(&(r as u32));
-        csr.row(r)
-            .filter_map(move |(c, v)| is_kept.then_some((r as u32, c, v)))
-            .collect::<Vec<_>>()
-    });
-    Csr::from_coo(csr.n_rows(), csr.n_cols(), triplets)
+    csr.restrict_rows(rows)
 }
 
 /// Completes the zero rows of `x0` with a *weighted mixture* of all ops

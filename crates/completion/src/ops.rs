@@ -5,11 +5,10 @@
 use std::fmt;
 use std::rc::Rc;
 
-use autoac_graph::{norm, ppr, HeteroGraph};
+use autoac_graph::cache::NormOp;
+use autoac_graph::{ppr, HeteroGraph, OpCache};
 use autoac_tensor::{spmm, Csr, Tensor};
 use rand::rngs::StdRng;
-
-use crate::module::restrict_rows;
 
 /// One completion operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +81,14 @@ pub struct CompletionContext {
 impl CompletionContext {
     /// Builds all operators for a graph and attribute mask.
     pub fn build(graph: &HeteroGraph, has_attr: &[bool]) -> Self {
+        Self::build_cached(graph, has_attr, &OpCache::new(graph))
+    }
+
+    /// Like [`CompletionContext::build`], but fetches every operator through
+    /// a shared [`OpCache`] so repeated pipeline construction over the same
+    /// graph (search stage, retraining stage, multiple seeds) reuses the
+    /// CSR matrices instead of rebuilding them.
+    pub fn build_cached(graph: &HeteroGraph, has_attr: &[bool], cache: &OpCache) -> Self {
         let missing: Vec<u32> = has_attr
             .iter()
             .enumerate()
@@ -89,16 +96,14 @@ impl CompletionContext {
             .collect();
         // Completion only ever reads V⁻ rows of the local aggregators;
         // restricting them up-front makes each spmm O(edges incident to V⁻).
-        let mean = restrict_rows(&norm::mean_attr_agg(graph, has_attr), &missing);
-        let gcn = restrict_rows(&norm::gcn_attr_agg(graph, has_attr), &missing);
-        let mean_t = mean.transpose();
-        let gcn_t = gcn.transpose();
+        let mask = Some(has_attr);
+        let rows = Some(&missing[..]);
         Self {
-            mean_agg: Rc::new(mean),
-            mean_agg_t: Rc::new(mean_t),
-            gcn_agg: Rc::new(gcn),
-            gcn_agg_t: Rc::new(gcn_t),
-            sym_adj: Rc::new(norm::sym_norm_adj(graph)),
+            mean_agg: cache.get(graph, NormOp::MeanAttr, mask, rows, false),
+            mean_agg_t: cache.get(graph, NormOp::MeanAttr, mask, rows, true),
+            gcn_agg: cache.get(graph, NormOp::GcnAttr, mask, rows, false),
+            gcn_agg_t: cache.get(graph, NormOp::GcnAttr, mask, rows, true),
+            sym_adj: cache.sym_norm_adj(graph),
             missing,
             num_nodes: graph.num_nodes(),
         }

@@ -3,6 +3,7 @@
 
 use autoac_completion::{complete_assigned, CompletionContext, CompletionOp, CompletionOps};
 use autoac_data::Dataset;
+use autoac_graph::OpCache;
 use autoac_nn::models::{Gat, GatneLite, Gcn, GtnLite, Han, HetGnnLite, HetSannLite, HgtLite, Magnn, SimpleHgn};
 use autoac_nn::{FeatureEncoder, Forward, Gnn, GnnConfig};
 use autoac_tensor::{Matrix, Tensor};
@@ -60,9 +61,22 @@ impl Backbone {
 
     /// Instantiates the backbone for a dataset.
     pub fn build(self, data: &Dataset, cfg: &GnnConfig, rng: &mut StdRng) -> Box<dyn Gnn> {
+        self.build_cached(data, cfg, &OpCache::new(&data.graph), rng)
+    }
+
+    /// Like [`Backbone::build`], but graph operators the backbone needs are
+    /// fetched through `cache` (GCN's `Â` is also what PPNP completion
+    /// propagates over, so sharing a cache avoids renormalizing the graph).
+    pub fn build_cached(
+        self,
+        data: &Dataset,
+        cfg: &GnnConfig,
+        cache: &OpCache,
+        rng: &mut StdRng,
+    ) -> Box<dyn Gnn> {
         let g = &data.graph;
         match self {
-            Backbone::Gcn => Box::new(Gcn::new(g, cfg, rng)),
+            Backbone::Gcn => Box::new(Gcn::with_adj(cache.sym_norm_adj(g), cfg, rng)),
             Backbone::Gat => Box::new(Gat::new(g, cfg, rng)),
             Backbone::SimpleHgn => Box::new(SimpleHgn::new(g, cfg, rng)),
             Backbone::SimpleHgnLp => Box::new(SimpleHgn::new_for_lp(g, cfg, rng)),
@@ -124,10 +138,26 @@ impl Pipeline {
         mode: CompletionMode,
         rng: &mut StdRng,
     ) -> Self {
+        Self::new_cached(data, backbone, cfg, mode, &OpCache::new(&data.graph), rng)
+    }
+
+    /// Like [`Pipeline::new`], but all normalized graph operators come from
+    /// `cache`. Pass the same cache when assembling several pipelines over
+    /// one dataset (search then retrain, seed sweeps, baselines) so each CSR
+    /// is built once; even a single pipeline benefits, because the
+    /// completion context and a GCN backbone share `Â`.
+    pub fn new_cached(
+        data: &Dataset,
+        backbone: Backbone,
+        cfg: &GnnConfig,
+        mode: CompletionMode,
+        cache: &OpCache,
+        rng: &mut StdRng,
+    ) -> Self {
         let encoder = FeatureEncoder::new(&data.graph, &data.features, cfg.in_dim, rng);
-        let ctx = CompletionContext::build(&data.graph, &data.has_attr());
+        let ctx = CompletionContext::build_cached(&data.graph, &data.has_attr(), cache);
         let ops = CompletionOps::new(ctx, cfg.in_dim, rng);
-        let model = backbone.build(data, cfg, rng);
+        let model = backbone.build_cached(data, cfg, cache, rng);
         Self { encoder, ops, model, features: data.features.clone(), mode }
     }
 

@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use autoac_completion::{complete_assigned, complete_mixture, CompletionOp};
 use autoac_data::{Dataset, LinkSplit};
+use autoac_graph::OpCache;
 use autoac_nn::GnnConfig;
 use autoac_tensor::{Adam, AdamConfig, Matrix, Tensor};
 use rand::rngs::StdRng;
@@ -181,8 +182,23 @@ pub fn search(
     task: &dyn SearchTask,
     seed: u64,
 ) -> SearchOutcome {
+    search_cached(data, backbone, gnn_cfg, ac, task, seed, &OpCache::new(&data.graph))
+}
+
+/// [`search`] with an explicit operator cache, so the retraining stage (and
+/// any repeated searches over one dataset) can reuse the normalized CSR
+/// operators the search pipeline already built.
+pub fn search_cached(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    task: &dyn SearchTask,
+    seed: u64,
+    cache: &OpCache,
+) -> SearchOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pipe = Pipeline::new(data, backbone, gnn_cfg, CompletionMode::Zero, &mut rng);
+    let pipe = Pipeline::new_cached(data, backbone, gnn_cfg, CompletionMode::Zero, cache, &mut rng);
     let n_minus = pipe.ops.ctx().num_missing();
     if n_minus == 0 {
         return SearchOutcome {
@@ -385,13 +401,17 @@ pub fn run_autoac_classification(
     seed: u64,
 ) -> AutoAcClsRun {
     let task = ClassificationTask::new(data);
-    let search_out = search(data, backbone, gnn_cfg, ac, &task, seed);
+    // One cache spans search and retraining: the retrain pipeline's
+    // operators are all hits.
+    let cache = OpCache::new(&data.graph);
+    let search_out = search_cached(data, backbone, gnn_cfg, ac, &task, seed, &cache);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let pipe = Pipeline::new(
+    let pipe = Pipeline::new_cached(
         data,
         backbone,
         gnn_cfg,
         CompletionMode::Assigned(search_out.assignment.clone()),
+        &cache,
         &mut rng,
     );
     let outcome = train_node_classification(&pipe, data, &ac.train, seed ^ 0x7e7e);
@@ -416,13 +436,15 @@ pub fn run_autoac_link_prediction(
     seed: u64,
 ) -> AutoAcLpRun {
     let task = LinkPredictionTask::new(split);
-    let search_out = search(&split.train_data, backbone, gnn_cfg, ac, &task, seed);
+    let cache = OpCache::new(&split.train_data.graph);
+    let search_out = search_cached(&split.train_data, backbone, gnn_cfg, ac, &task, seed, &cache);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let pipe = Pipeline::new(
+    let pipe = Pipeline::new_cached(
         &split.train_data,
         backbone,
         gnn_cfg,
         CompletionMode::Assigned(search_out.assignment.clone()),
+        &cache,
         &mut rng,
     );
     let outcome = train_link_prediction(&pipe, split, &ac.train, seed ^ 0x7e7e);

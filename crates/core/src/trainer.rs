@@ -278,6 +278,37 @@ mod tests {
     }
 
     #[test]
+    fn cached_pipeline_trains_bit_identically_to_uncached() {
+        // The operator cache must be invisible to training: pipelines built
+        // through a shared cache reuse the Rc<Csr> allocations but compute
+        // the exact same numbers.
+        let data = tiny("imdb");
+        let cfg = GnnConfig {
+            in_dim: 16,
+            hidden: 16,
+            out_dim: data.num_classes,
+            layers: 2,
+            ..Default::default()
+        };
+        let tc = TrainConfig { epochs: 5, patience: 5, ..Default::default() };
+        let mode = || CompletionMode::Single(CompletionOp::Mean);
+        let mut rng = StdRng::seed_from_u64(9);
+        let plain = Pipeline::new(&data, Backbone::Gcn, &cfg, mode(), &mut rng);
+        let cache = autoac_graph::OpCache::new(&data.graph);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cached = Pipeline::new_cached(&data, Backbone::Gcn, &cfg, mode(), &cache, &mut rng);
+        // Â is requested by both the completion context and the GCN
+        // backbone, so even one pipeline produces a cache hit.
+        let (hits, _) = cache.stats();
+        assert!(hits >= 1, "expected Â to be shared, stats {:?}", cache.stats());
+        let a = train_node_classification(&plain, &data, &tc, 7);
+        let b = train_node_classification(&cached, &data, &tc, 7);
+        assert_eq!(a.macro_f1, b.macro_f1);
+        assert_eq!(a.micro_f1, b.micro_f1);
+        assert_eq!(a.epochs_run, b.epochs_run);
+    }
+
+    #[test]
     fn early_stopping_halts_before_max_epochs() {
         let data = tiny("imdb");
         let cfg = GnnConfig {

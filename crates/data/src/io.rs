@@ -3,146 +3,197 @@
 //! on generator determinism across library versions.
 //!
 //! The format is a single JSON document (readable, diffable; the datasets
-//! here are small enough that a binary format isn't warranted).
+//! here are small enough that a binary format isn't warranted), written and
+//! parsed by the in-repo [`crate::json`] module. Feature values round-trip
+//! through shortest-representation decimal, so every finite `f32` survives
+//! save→load with identical bits.
 
 use std::io::{Read, Write};
 use std::path::Path;
 
 use autoac_graph::HeteroGraph;
 use autoac_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::{Dataset, Split};
+use crate::json::{self, Value};
 
-#[derive(Serialize, Deserialize)]
-struct MatrixRepr {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
+fn bad_data(msg: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
 }
 
-impl From<&Matrix> for MatrixRepr {
-    fn from(m: &Matrix) -> Self {
-        Self { rows: m.rows(), cols: m.cols(), data: m.data().to_vec() }
+fn matrix_to_value(m: &Matrix) -> Value {
+    Value::Obj(vec![
+        ("rows".into(), Value::Num(m.rows() as f64)),
+        ("cols".into(), Value::Num(m.cols() as f64)),
+        ("data".into(), json::f32_array(m.data())),
+    ])
+}
+
+fn matrix_from_value(v: &Value) -> std::io::Result<Matrix> {
+    let rows = field_usize(v, "rows")?;
+    let cols = field_usize(v, "cols")?;
+    let raw = v.get("data").and_then(Value::as_arr).ok_or_else(|| bad_data("matrix: data"))?;
+    if raw.len() != rows * cols {
+        return Err(bad_data(format!("matrix: {rows}x{cols} but {} values", raw.len())));
     }
+    let data = raw
+        .iter()
+        .map(|x| x.as_f64().map(|f| f as f32).ok_or_else(|| bad_data("matrix: non-number entry")))
+        .collect::<std::io::Result<Vec<f32>>>()?;
+    Ok(Matrix::from_vec(rows, cols, data))
 }
 
-impl MatrixRepr {
-    fn into_matrix(self) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data)
-    }
+fn field<'v>(v: &'v Value, key: &str) -> std::io::Result<&'v Value> {
+    v.get(key).ok_or_else(|| bad_data(format!("missing field `{key}`")))
 }
 
-#[derive(Serialize, Deserialize)]
-struct NodeTypeRepr {
-    name: String,
-    count: usize,
+fn field_usize(v: &Value, key: &str) -> std::io::Result<usize> {
+    field(v, key)?.as_usize().ok_or_else(|| bad_data(format!("field `{key}`: expected integer")))
 }
 
-#[derive(Serialize, Deserialize)]
-struct EdgeTypeRepr {
-    name: String,
-    src: usize,
-    dst: usize,
-    edges: Vec<(u32, u32)>,
+fn field_str(v: &Value, key: &str) -> std::io::Result<String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| bad_data(format!("field `{key}`: expected string")))?
+        .to_string())
 }
 
-/// Serializable snapshot of a [`Dataset`].
-#[derive(Serialize, Deserialize)]
-pub struct DatasetRepr {
-    name: String,
-    node_types: Vec<NodeTypeRepr>,
-    edge_types: Vec<EdgeTypeRepr>,
-    features: Vec<Option<MatrixRepr>>,
-    labels: Vec<u32>,
-    num_classes: usize,
-    target_type: usize,
-    split_train: Vec<u32>,
-    split_val: Vec<u32>,
-    split_test: Vec<u32>,
-    lp_edge_type: Option<usize>,
+fn u32_vec(v: &Value, key: &str) -> std::io::Result<Vec<u32>> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| bad_data(format!("field `{key}`: expected array")))?
+        .iter()
+        .map(|x| {
+            x.as_usize()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad_data(format!("field `{key}`: expected u32 entries")))
+        })
+        .collect()
 }
 
-impl From<&Dataset> for DatasetRepr {
-    fn from(d: &Dataset) -> Self {
-        let g = &d.graph;
-        Self {
-            name: d.name.clone(),
-            node_types: (0..g.num_node_types())
-                .map(|t| NodeTypeRepr {
-                    name: g.node_type_name(t).to_string(),
-                    count: g.num_nodes_of_type(t),
+fn dataset_to_value(d: &Dataset) -> Value {
+    let g = &d.graph;
+    let node_types = (0..g.num_node_types())
+        .map(|t| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(g.node_type_name(t).to_string())),
+                ("count".into(), Value::Num(g.num_nodes_of_type(t) as f64)),
+            ])
+        })
+        .collect();
+    let edge_types = (0..g.num_edge_types())
+        .map(|e| {
+            let et = g.edge_type(e);
+            let edges = g
+                .edges_of_type(e)
+                .iter()
+                .map(|&(s, dst)| {
+                    Value::Arr(vec![Value::Num(s as f64), Value::Num(dst as f64)])
                 })
-                .collect(),
-            edge_types: (0..g.num_edge_types())
-                .map(|e| {
-                    let et = g.edge_type(e);
-                    EdgeTypeRepr {
-                        name: et.name.clone(),
-                        src: et.src,
-                        dst: et.dst,
-                        edges: g.edges_of_type(e).to_vec(),
-                    }
-                })
-                .collect(),
-            features: d.features.iter().map(|f| f.as_ref().map(MatrixRepr::from)).collect(),
-            labels: d.labels.clone(),
-            num_classes: d.num_classes,
-            target_type: d.target_type,
-            split_train: d.split.train.clone(),
-            split_val: d.split.val.clone(),
-            split_test: d.split.test.clone(),
-            lp_edge_type: d.lp_edge_type,
-        }
-    }
+                .collect();
+            Value::Obj(vec![
+                ("name".into(), Value::Str(et.name.clone())),
+                ("src".into(), Value::Num(et.src as f64)),
+                ("dst".into(), Value::Num(et.dst as f64)),
+                ("edges".into(), Value::Arr(edges)),
+            ])
+        })
+        .collect();
+    let features = d
+        .features
+        .iter()
+        .map(|f| f.as_ref().map_or(Value::Null, matrix_to_value))
+        .collect();
+    Value::Obj(vec![
+        ("name".into(), Value::Str(d.name.clone())),
+        ("node_types".into(), Value::Arr(node_types)),
+        ("edge_types".into(), Value::Arr(edge_types)),
+        ("features".into(), Value::Arr(features)),
+        (
+            "labels".into(),
+            Value::Arr(d.labels.iter().map(|&l| Value::Num(l as f64)).collect()),
+        ),
+        ("num_classes".into(), Value::Num(d.num_classes as f64)),
+        ("target_type".into(), Value::Num(d.target_type as f64)),
+        (
+            "split".into(),
+            Value::Obj(vec![
+                (
+                    "train".into(),
+                    Value::Arr(d.split.train.iter().map(|&v| Value::Num(v as f64)).collect()),
+                ),
+                (
+                    "val".into(),
+                    Value::Arr(d.split.val.iter().map(|&v| Value::Num(v as f64)).collect()),
+                ),
+                (
+                    "test".into(),
+                    Value::Arr(d.split.test.iter().map(|&v| Value::Num(v as f64)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "lp_edge_type".into(),
+            d.lp_edge_type.map_or(Value::Null, |e| Value::Num(e as f64)),
+        ),
+    ])
 }
 
-impl DatasetRepr {
-    /// Rebuilds the in-memory dataset.
-    pub fn into_dataset(self) -> Dataset {
-        let mut b = HeteroGraph::builder();
-        for nt in &self.node_types {
-            b.add_node_type(nt.name.clone(), nt.count);
-        }
-        for et in &self.edge_types {
-            let id = b.add_edge_type(et.name.clone(), et.src, et.dst);
-            for &(s, d) in &et.edges {
-                b.add_edge(id, s, d);
-            }
-        }
-        Dataset {
-            name: self.name,
-            graph: b.build(),
-            features: self
-                .features
-                .into_iter()
-                .map(|f| f.map(MatrixRepr::into_matrix))
-                .collect(),
-            labels: self.labels,
-            num_classes: self.num_classes,
-            target_type: self.target_type,
-            split: Split { train: self.split_train, val: self.split_val, test: self.split_test },
-            lp_edge_type: self.lp_edge_type,
+fn dataset_from_value(v: &Value) -> std::io::Result<Dataset> {
+    let mut b = HeteroGraph::builder();
+    for nt in field(v, "node_types")?.as_arr().ok_or_else(|| bad_data("node_types"))? {
+        b.add_node_type(field_str(nt, "name")?, field_usize(nt, "count")?);
+    }
+    for et in field(v, "edge_types")?.as_arr().ok_or_else(|| bad_data("edge_types"))? {
+        let id = b.add_edge_type(field_str(et, "name")?, field_usize(et, "src")?, field_usize(et, "dst")?);
+        for pair in field(et, "edges")?.as_arr().ok_or_else(|| bad_data("edges"))? {
+            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| bad_data("edge pair"))?;
+            let s = pair[0].as_usize().ok_or_else(|| bad_data("edge src"))? as u32;
+            let dst = pair[1].as_usize().ok_or_else(|| bad_data("edge dst"))? as u32;
+            b.add_edge(id, s, dst);
         }
     }
+    let features = field(v, "features")?
+        .as_arr()
+        .ok_or_else(|| bad_data("features"))?
+        .iter()
+        .map(|f| if f.is_null() { Ok(None) } else { matrix_from_value(f).map(Some) })
+        .collect::<std::io::Result<Vec<Option<Matrix>>>>()?;
+    let split = field(v, "split")?;
+    let lp = field(v, "lp_edge_type")?;
+    Ok(Dataset {
+        name: field_str(v, "name")?,
+        graph: b.build(),
+        features,
+        labels: u32_vec(v, "labels")?,
+        num_classes: field_usize(v, "num_classes")?,
+        target_type: field_usize(v, "target_type")?,
+        split: Split {
+            train: u32_vec(split, "train")?,
+            val: u32_vec(split, "val")?,
+            test: u32_vec(split, "test")?,
+        },
+        lp_edge_type: if lp.is_null() {
+            None
+        } else {
+            Some(lp.as_usize().ok_or_else(|| bad_data("lp_edge_type"))?)
+        },
+    })
 }
 
 /// Saves a dataset as JSON.
 pub fn save(data: &Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
-    let repr = DatasetRepr::from(data);
-    let json = serde_json::to_string(&repr)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let text = json::to_string(&dataset_to_value(data));
     let mut f = std::fs::File::create(path)?;
-    f.write_all(json.as_bytes())
+    f.write_all(text.as_bytes())
 }
 
 /// Loads a dataset saved by [`save`].
 pub fn load(path: impl AsRef<Path>) -> std::io::Result<Dataset> {
     let mut buf = String::new();
     std::fs::File::open(path)?.read_to_string(&mut buf)?;
-    let repr: DatasetRepr = serde_json::from_str(&buf)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    Ok(repr.into_dataset())
+    let doc = json::parse(&buf).map_err(bad_data)?;
+    dataset_from_value(&doc)
 }
 
 #[cfg(test)]
@@ -192,5 +243,19 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load("/nonexistent/definitely/missing.json").is_err());
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let dir = std::env::temp_dir().join("autoac_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shape_mismatch.json");
+        let d = synth::generate(&presets::imdb(), synth::Scale::Tiny, 7);
+        save(&d, &path).unwrap();
+        // Corrupt a matrix's row count; load must fail, not misinterpret.
+        let text = std::fs::read_to_string(&path).unwrap().replacen("\"rows\":", "\"rows\":9", 1);
+        std::fs::write(&path, text).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -12,6 +12,7 @@
 
 mod dataset;
 pub mod io;
+pub mod json;
 pub mod masking;
 pub mod presets;
 pub mod synth;

@@ -183,6 +183,22 @@ impl HeteroGraph {
         &self.edges[e]
     }
 
+    /// Order-sensitive structural hash over node-type sizes, edge-type
+    /// endpoints, and every stored edge (names excluded — they don't affect
+    /// any operator). [`crate::cache::OpCache`] uses this to refuse serving
+    /// operators computed for a different graph.
+    pub fn structural_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.type_offsets.hash(&mut h);
+        for et in &self.edge_types {
+            et.src.hash(&mut h);
+            et.dst.hash(&mut h);
+        }
+        self.edges.hash(&mut h);
+        h.finish()
+    }
+
     /// Iterates over `(edge_type, src, dst)` for all edges.
     pub fn all_edges(&self) -> impl Iterator<Item = (EdgeTypeId, u32, u32)> + '_ {
         self.edges

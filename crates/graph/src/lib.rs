@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+pub mod cache;
 mod hetero;
 pub mod metapath;
 pub mod norm;
@@ -14,4 +15,5 @@ pub mod ppr;
 pub mod walk;
 
 pub use adjacency::Adjacency;
+pub use cache::OpCache;
 pub use hetero::{EdgeType, EdgeTypeId, HeteroGraph, HeteroGraphBuilder, NodeTypeId};

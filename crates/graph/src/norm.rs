@@ -4,6 +4,20 @@
 //! whole graph), the PPNP completion operation (same), and the mean/GCN
 //! completion operations, which aggregate only from *attributed* 1-hop
 //! neighbors (`N_v⁺` in the paper, Eqs. 2–3).
+//!
+//! # Multigraph semantics
+//!
+//! [`HeteroGraph`] permits duplicate edges (HGB dumps contain them, e.g. an
+//! author appearing twice on one paper). Every operator here treats them
+//! *occurrence-counted*, consistently: each occurrence increments the
+//! degrees **and** contributes one weight term, which [`Csr::from_coo`]
+//! sums into a single entry. A doubled edge therefore carries twice the
+//! normalized weight of a single edge — it is never silently deduplicated,
+//! and it never breaks stochasticity: rows of [`row_norm_adj`] and
+//! [`mean_attr_agg`] still sum to exactly 1 (or 0 for nodes with no
+//! (attributed) neighbors), and [`sym_norm_adj`] stays symmetric. The
+//! property tests in `tests/graph_properties.rs` pin this down with
+//! explicitly repeated edges.
 
 use autoac_tensor::Csr;
 

@@ -15,7 +15,10 @@ use autoac_tensor::{spmm, Csr, Matrix, Tensor};
 /// (spectral radius ≤ 1, so iteration converges); it is its own transpose,
 /// hence a single matrix is enough for autograd.
 pub fn ppnp_propagate(adj: &Rc<Csr>, x: &Tensor, alpha: f32, k: usize) -> Tensor {
-    assert!((0.0..=1.0).contains(&alpha), "ppnp: alpha must be in (0, 1]");
+    // alpha = 0 is excluded: it kills the teleport term, so the iteration no
+    // longer approximates PPNP (it degenerates to plain power iteration on Â
+    // and forgets the input features entirely).
+    assert!(alpha > 0.0 && alpha <= 1.0, "ppnp: alpha must be in (0, 1], got {alpha}");
     assert!(k > 0, "ppnp: need at least one propagation step");
     let teleport = x.scale(alpha);
     let mut h = x.clone();
@@ -26,7 +29,9 @@ pub fn ppnp_propagate(adj: &Rc<Csr>, x: &Tensor, alpha: f32, k: usize) -> Tensor
 }
 
 /// Non-differentiable PPNP on raw matrices (dataset preprocessing, tests).
+/// Same `alpha ∈ (0, 1]` contract as [`ppnp_propagate`].
 pub fn ppnp_propagate_dense(adj: &Csr, x: &Matrix, alpha: f32, k: usize) -> Matrix {
+    assert!(alpha > 0.0 && alpha <= 1.0, "ppnp: alpha must be in (0, 1], got {alpha}");
     let teleport = x.scale(alpha);
     let mut h = x.clone();
     for _ in 0..k {
@@ -93,6 +98,28 @@ mod tests {
         assert!(h.get(1, 0) > h.get(2, 0));
         assert!(h.get(2, 0) > h.get(3, 0));
         assert!(h.get(3, 0) > 0.0, "multi-hop reach");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn alpha_zero_is_rejected() {
+        // Regression: alpha = 0 used to be accepted but silently degenerates
+        // the teleport term — the output forgets the input features.
+        let adj = Rc::new(chain());
+        let x = Tensor::param(Matrix::ones(4, 1));
+        let _ = ppnp_propagate(&adj, &x, 0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn alpha_zero_is_rejected_dense() {
+        let _ = ppnp_propagate_dense(&chain(), &Matrix::ones(4, 1), 0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn alpha_above_one_is_rejected() {
+        let _ = ppnp_propagate_dense(&chain(), &Matrix::ones(4, 1), 1.5, 4);
     }
 
     #[test]

@@ -21,8 +21,13 @@ pub struct Gcn {
 impl Gcn {
     /// Builds the model (precomputes `Â`).
     pub fn new(graph: &HeteroGraph, cfg: &GnnConfig, rng: &mut StdRng) -> Self {
+        Self::with_adj(Rc::new(norm::sym_norm_adj(graph)), cfg, rng)
+    }
+
+    /// Builds the model around an already-computed `Â` (e.g. shared from an
+    /// operator cache instead of renormalizing the graph).
+    pub fn with_adj(adj: Rc<Csr>, cfg: &GnnConfig, rng: &mut StdRng) -> Self {
         assert!(cfg.layers >= 1, "gcn: need at least one layer");
-        let adj = Rc::new(norm::sym_norm_adj(graph));
         let mut layers = Vec::with_capacity(cfg.layers);
         let mut in_dim = cfg.in_dim;
         for l in 0..cfg.layers {

@@ -25,6 +25,7 @@ pub mod init;
 mod matrix;
 pub mod optim;
 mod ops;
+pub mod parallel;
 pub mod sparse;
 
 pub use autograd::{grad_enabled, no_grad, Tensor};

@@ -258,7 +258,10 @@ impl Matrix {
     ///
     /// Uses an ikj loop order so the inner loop streams contiguously over
     /// both the `other` row and the output row; this vectorizes well and is
-    /// the single hottest kernel in the whole stack.
+    /// the single hottest kernel in the whole stack. Output rows are
+    /// independent, so they are split across worker threads (see
+    /// [`crate::parallel`]); each row runs the identical serial loop, making
+    /// the result bitwise equal for any thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -268,19 +271,22 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let work = m.saturating_mul(k).saturating_mul(n);
+        crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
+            for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+                let row = first_row + i;
+                let a_row = &self.data[row * k..(row + 1) * k];
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

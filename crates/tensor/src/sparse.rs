@@ -89,8 +89,124 @@ impl Csr {
         (0..self.n_rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
     }
 
+    /// Copy with only the listed rows kept; every other row becomes empty.
+    /// The shape is unchanged. Duplicates in `rows` are harmless; rows out
+    /// of range panic.
+    pub fn restrict_rows(&self, rows: &[u32]) -> Csr {
+        let mut keep = vec![false; self.n_rows];
+        for &r in rows {
+            assert!((r as usize) < self.n_rows, "restrict_rows: row {r} out of bounds");
+            keep[r as usize] = true;
+        }
+        let mut indptr = Vec::with_capacity(self.n_rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.n_rows {
+            if keep[r] {
+                let range = self.indptr[r]..self.indptr[r + 1];
+                indices.extend_from_slice(&self.indices[range.clone()]);
+                values.extend_from_slice(&self.values[range]);
+            }
+            indptr.push(indices.len());
+        }
+        Csr { n_rows: self.n_rows, n_cols: self.n_cols, indptr, indices, values }
+    }
+
     /// Transposed copy (CSC view rebuilt as CSR).
+    ///
+    /// Large matrices use a two-pass parallel counting sort: per-chunk
+    /// column histograms, a serial prefix scan that assigns each chunk a
+    /// disjoint cursor range per column, then a parallel scatter. Chunks
+    /// write in source-row order, so the output is identical to the serial
+    /// counting sort bit for bit.
     pub fn transpose(&self) -> Csr {
+        let threads =
+            crate::parallel::threads_for(self.nnz().saturating_mul(2)).min(self.n_rows.max(1));
+        if threads <= 1 {
+            return self.transpose_serial();
+        }
+        let ranges = crate::parallel::partition_rows(self.n_rows, threads);
+
+        // Pass 1: column histogram of each row chunk.
+        let chunk_counts: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    s.spawn(move || {
+                        let mut counts = vec![0usize; self.n_cols];
+                        for &c in &self.indices[self.indptr[range.start]..self.indptr[range.end]] {
+                            counts[c as usize] += 1;
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("transpose histogram worker")).collect()
+        });
+
+        // Serial scan: global indptr, plus each chunk's starting cursor per
+        // column (chunks stack within a column in source-row order).
+        let mut indptr = vec![0usize; self.n_cols + 1];
+        let mut cursors = chunk_counts;
+        let mut base = 0usize;
+        for c in 0..self.n_cols {
+            indptr[c] = base;
+            for cursor in cursors.iter_mut() {
+                let here = cursor[c];
+                cursor[c] = base;
+                base += here;
+            }
+        }
+        indptr[self.n_cols] = base;
+        debug_assert_eq!(base, self.nnz());
+
+        // Pass 2: scatter. Each chunk owns the disjoint per-column slot
+        // ranges computed above, so the raw-pointer writes never alias.
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T> Send for SendPtr<T> {}
+        impl<T> Clone for SendPtr<T> {
+            fn clone(&self) -> Self {
+                Self(self.0)
+            }
+        }
+        impl<T> SendPtr<T> {
+            /// # Safety
+            /// `i` must be in bounds and not written by any other thread.
+            unsafe fn write(&self, i: usize, v: T) {
+                unsafe { *self.0.add(i) = v }
+            }
+        }
+        let idx_ptr = SendPtr(indices.as_mut_ptr());
+        let val_ptr = SendPtr(values.as_mut_ptr());
+        std::thread::scope(|s| {
+            for (range, mut cursor) in ranges.into_iter().zip(cursors) {
+                let idx_ptr = idx_ptr.clone();
+                let val_ptr = val_ptr.clone();
+                s.spawn(move || {
+                    for r in range {
+                        for (c, v) in self.row(r) {
+                            let slot = cursor[c as usize];
+                            cursor[c as usize] += 1;
+                            // SAFETY: `slot` lies in this chunk's private
+                            // range of column `c`; ranges of different
+                            // chunks/columns are disjoint and cover 0..nnz.
+                            unsafe {
+                                idx_ptr.write(slot, r as u32);
+                                val_ptr.write(slot, v);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        Csr { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices, values }
+    }
+
+    fn transpose_serial(&self) -> Csr {
         let mut counts = vec![0usize; self.n_cols + 1];
         for &c in &self.indices {
             counts[c as usize + 1] += 1;
@@ -114,6 +230,11 @@ impl Csr {
     }
 
     /// Dense sparse-dense product `A · X` on raw matrices.
+    ///
+    /// Output rows are independent (`out[r] = Σ A[r,c] · X[c]`), so they are
+    /// split across worker threads (see [`crate::parallel`]); each row runs
+    /// the identical serial accumulation, making the result bitwise equal
+    /// for any thread count.
     pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
         assert_eq!(
             self.n_cols,
@@ -124,17 +245,21 @@ impl Csr {
         );
         let cols = x.cols();
         let mut out = Matrix::zeros(self.n_rows, cols);
-        for r in 0..self.n_rows {
-            let out_row = &mut out.data_mut()[r * cols..(r + 1) * cols];
-            for (self_c, v) in
-                self.indices[self.indptr[r]..self.indptr[r + 1]].iter().zip(&self.values[self.indptr[r]..self.indptr[r + 1]])
-            {
-                let x_row = x.row(*self_c as usize);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
+        let work = self.nnz().saturating_mul(cols);
+        crate::parallel::for_each_row_chunk(out.data_mut(), cols, work, |first_row, chunk| {
+            for (i, out_row) in chunk.chunks_mut(cols).enumerate() {
+                let r = first_row + i;
+                for (self_c, v) in self.indices[self.indptr[r]..self.indptr[r + 1]]
+                    .iter()
+                    .zip(&self.values[self.indptr[r]..self.indptr[r + 1]])
+                {
+                    let x_row = x.row(*self_c as usize);
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

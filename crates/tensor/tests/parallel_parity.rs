@@ -1,0 +1,155 @@
+//! Serial vs. parallel kernel parity and gradient checks.
+//!
+//! The parallel backend (`autoac_tensor::parallel`) must be invisible to
+//! numerics: for any thread count, `Matrix::matmul`, `Csr::matmul_dense`,
+//! `Csr::transpose`, and the `spmm` backward pass must match the serial
+//! kernels — the row-chunked execution runs the identical per-row loops, so
+//! the match is bitwise, and the 1e-6 tolerance demanded by the acceptance
+//! criteria is checked on top as a belt-and-suspenders bound.
+
+use std::rc::Rc;
+
+use autoac_tensor::parallel::with_threads;
+use autoac_tensor::{spmm, Csr, Matrix, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect())
+}
+
+fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, nnz: usize) -> Csr {
+    Csr::from_coo(
+        rows,
+        cols,
+        (0..nnz).map(|_| {
+            (
+                rng.gen_range(0..rows) as u32,
+                rng.gen_range(0..cols) as u32,
+                rng.gen_range(-1.0f32..1.0),
+            )
+        }),
+    )
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert!((x - y).abs() < 1e-6, "{what}: element {i} differs: {x} vs {y}");
+    }
+}
+
+#[test]
+fn spmm_forward_parity_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for (rows, cols, feat, nnz) in [(5, 7, 3, 9), (64, 48, 16, 400), (300, 200, 32, 4000)] {
+        let a = random_csr(&mut rng, rows, cols, nnz);
+        let x = random_matrix(&mut rng, cols, feat);
+        let serial = with_threads(1, || a.matmul_dense(&x));
+        for nt in THREAD_COUNTS {
+            let parallel = with_threads(nt, || a.matmul_dense(&x));
+            assert_close(&serial, &parallel, &format!("matmul_dense @ {nt} threads"));
+            assert_eq!(serial, parallel, "matmul_dense must be bitwise equal at {nt} threads");
+        }
+    }
+}
+
+#[test]
+fn dense_matmul_parity_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for (m, k, n) in [(3, 4, 5), (33, 17, 29), (120, 64, 80)] {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let serial = with_threads(1, || a.matmul(&b));
+        for nt in THREAD_COUNTS {
+            let parallel = with_threads(nt, || a.matmul(&b));
+            assert_close(&serial, &parallel, &format!("matmul @ {nt} threads"));
+            assert_eq!(serial, parallel, "matmul must be bitwise equal at {nt} threads");
+        }
+    }
+}
+
+#[test]
+fn transpose_parity_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for (rows, cols, nnz) in [(4, 6, 5), (80, 50, 700), (500, 300, 6000)] {
+        let a = random_csr(&mut rng, rows, cols, nnz);
+        let serial = with_threads(1, || a.transpose());
+        for nt in THREAD_COUNTS {
+            let parallel = with_threads(nt, || a.transpose());
+            assert_eq!(serial, parallel, "transpose must be identical at {nt} threads");
+        }
+        // Still an involution under the parallel path.
+        for nt in THREAD_COUNTS {
+            with_threads(nt, || assert_eq!(a.transpose().transpose(), a));
+        }
+    }
+}
+
+#[test]
+fn spmm_gradient_is_transpose_product_under_both_paths() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let a = Rc::new(random_csr(&mut rng, 40, 30, 250));
+    let xm = random_matrix(&mut rng, 30, 8);
+    for nt in THREAD_COUNTS {
+        let (grad, want) = with_threads(nt, || {
+            let at = Rc::new(a.transpose());
+            let x = Tensor::param(xm.clone());
+            spmm(&a, &at, &x).sum().backward();
+            // d/dx sum(A x) = Aᵀ · 1.
+            let want = at.matmul_dense(&Matrix::ones(a.n_rows(), xm.cols()));
+            (x.grad().unwrap(), want)
+        });
+        assert_close(&grad, &want, &format!("spmm gradient @ {nt} threads"));
+    }
+    // Serial and parallel gradients agree bitwise.
+    let grad_at = |nt: usize| {
+        with_threads(nt, || {
+            let at = Rc::new(a.transpose());
+            let x = Tensor::param(xm.clone());
+            spmm(&a, &at, &x).sum().backward();
+            x.grad().unwrap()
+        })
+    };
+    let serial = grad_at(1);
+    for nt in THREAD_COUNTS {
+        assert_eq!(serial, grad_at(nt), "spmm gradient must be bitwise equal at {nt} threads");
+    }
+}
+
+#[test]
+fn finite_difference_gradcheck_through_spmm() {
+    // Full numerical gradcheck of loss = sum((A x)²)/2 under the parallel
+    // path: dL/dx = Aᵀ (A x).
+    let mut rng = StdRng::seed_from_u64(15);
+    let a = Rc::new(random_csr(&mut rng, 12, 9, 40));
+    let xm = random_matrix(&mut rng, 9, 4);
+    for nt in THREAD_COUNTS {
+        with_threads(nt, || {
+            let x = Tensor::param(xm.clone());
+            let at = Rc::new(a.transpose());
+            let out = spmm(&a, &at, &x);
+            out.mul(&out).sum().scale(0.5).backward();
+            let analytic = x.grad().unwrap();
+
+            let loss = |m: &Matrix| -> f64 {
+                a.matmul_dense(m).data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() * 0.5
+            };
+            let eps = 1e-3f32;
+            for i in 0..xm.data().len() {
+                let mut plus = xm.clone();
+                plus.data_mut()[i] += eps;
+                let mut minus = xm.clone();
+                minus.data_mut()[i] -= eps;
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps as f64);
+                let got = analytic.data()[i] as f64;
+                assert!(
+                    (numeric - got).abs() < 1e-2,
+                    "gradcheck @ {nt} threads, element {i}: numeric {numeric} vs analytic {got}"
+                );
+            }
+        });
+    }
+}

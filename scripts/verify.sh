@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the workspace and runs the full test suite twice: once pinned to
+# the exact serial kernel path (AUTOAC_NUM_THREADS=1) and once at the
+# hardware thread count. Kernels are bitwise-deterministic across thread
+# counts, so both runs must pass identically.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_THREADS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (AUTOAC_NUM_THREADS=1, serial kernels) =="
+AUTOAC_NUM_THREADS=1 cargo test -q
+
+echo "== cargo test -q (AUTOAC_NUM_THREADS=${MAX_THREADS}, parallel kernels) =="
+AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
+
+echo "verify.sh: all suites passed under both thread settings"

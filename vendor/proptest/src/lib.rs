@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`test_runner::ProptestConfig`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! - **Deterministic**: every test derives its RNG seed from the test name
+//!   (FNV-1a), so a failure reproduces on every run. There is no persistence
+//!   file handling — `*.proptest-regressions` files are not replayed; pin any
+//!   counterexample you care about as an explicit `#[test]` instead.
+//! - **No shrinking**: the failing inputs are printed verbatim (they are
+//!   `Debug`), not minimized.
+
+/// Core generation abstraction: a recipe for producing random values.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A source of random `Value`s, composable with `prop_map` /
+    /// `prop_flat_map`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Uses each generated value to build a second strategy, then draws
+        /// from that (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "proptest vec: empty size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Config and the case-loop driver used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Run-count knob mirroring upstream's `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Executes `body` for each case with a name-derived deterministic RNG.
+    ///
+    /// `body` receives the RNG plus a scratch vec it must fill with the
+    /// `Debug` renderings of the generated inputs; on panic those are printed
+    /// before the panic is propagated so the failing case is visible.
+    pub fn run<F>(config: &ProptestConfig, test_name: &str, body: F)
+    where
+        F: Fn(&mut StdRng, &mut Vec<String>),
+    {
+        let seed = fnv1a(test_name);
+        for case in 0..config.cases {
+            let mut rng = StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut inputs: Vec<String> = Vec::new();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut inputs)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest: test `{test_name}` failed at case {case}/{} (seed {seed:#x})",
+                    config.cases
+                );
+                for (i, input) in inputs.iter().enumerate() {
+                    eprintln!("  input[{i}] = {input}");
+                }
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use rand::rngs::StdRng;
+}
+
+pub use strategy::Strategy;
+pub use test_runner::ProptestConfig;
+
+/// Asserts a condition inside a property test (panics with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test (panics with both values).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Declares a block of property tests; accepts an optional leading
+/// `#![proptest_config(...)]` exactly like upstream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test fn per muncher step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng, __inputs| {
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&($strat), __rng);
+                    __inputs.push(format!("{:?}", __value));
+                    let $pat = __value;
+                )+
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = crate::collection::vec((0u32..5, -1.0f32..1.0), 3..9);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((-1.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = crate::collection::vec(0usize..10, 7usize);
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0u32..100, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_params(a in 0u64..100, v in crate::collection::vec(0u32..4, 0..6)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 4).count(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(x in -2.0f64..2.0) {
+            prop_assert!(x.abs() <= 2.0);
+        }
+    }
+}
