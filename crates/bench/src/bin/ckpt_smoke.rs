@@ -1,0 +1,67 @@
+//! Kill-and-resume smoke target for `scripts/verify.sh`: runs one small
+//! AutoAC classification run (search + retrain) and writes a JSON digest of
+//! everything that must be bit-stable across a crash/resume cycle —
+//! α bits, op assignment, cluster assignment, the `L_GmoC` trace, and the
+//! test metrics — and nothing timing-dependent.
+//!
+//! Extra flags beyond the shared harness set:
+//!
+//! ```text
+//! --out FILE            where to write the JSON digest    (default: stdout)
+//! --epoch-sleep-ms N    sleep at every epoch boundary — paces the run so an
+//!                       external `kill -9` lands mid-run  (default: 0)
+//! ```
+
+use std::path::PathBuf;
+
+use autoac_bench::{autoac_cfg, gnn_cfg, Args};
+use autoac_core::{run_autoac_classification_checkpointed, Backbone};
+use autoac_data::json::{self, Value};
+
+fn main() {
+    let mut out_path: Option<PathBuf> = None;
+    let mut sleep_ms: u64 = 0;
+    let args = Args::parse_extra(|flag, value| match flag {
+        "--out" => {
+            out_path = Some(PathBuf::from(value));
+            true
+        }
+        "--epoch-sleep-ms" => {
+            sleep_ms = value.parse().expect("--epoch-sleep-ms takes a millisecond count");
+            true
+        }
+        _ => false,
+    });
+
+    let seed = 0;
+    let data = args.dataset("IMDB", seed);
+    let cfg = gnn_cfg(&data, Backbone::Gcn, false);
+    let ac = autoac_cfg(Backbone::Gcn, "IMDB", &args);
+    let policy = args.ckpt_policy("smoke").map(|p| p.throttle_ms(sleep_ms));
+    let run =
+        run_autoac_classification_checkpointed(&data, Backbone::Gcn, &cfg, &ac, seed, policy.as_ref());
+
+    let ints = |xs: &[usize]| Value::Arr(xs.iter().map(|&x| Value::Num(x as f64)).collect());
+    let bits32 =
+        |xs: &[f32]| Value::Arr(xs.iter().map(|x| Value::Num(x.to_bits() as f64)).collect());
+    // f64 bit patterns overflow JSON's exact-integer range, so hex strings.
+    let bits64 = |x: f64| Value::Str(format!("{:016x}", x.to_bits()));
+    let digest = Value::Obj(vec![
+        ("assignment".into(), ints(&run.search.assignment.iter().map(|op| op.index()).collect::<Vec<_>>())),
+        ("cluster_of".into(), ints(&run.search.cluster_of.iter().map(|&c| c as usize).collect::<Vec<_>>())),
+        ("op_histogram".into(), ints(&run.search.op_histogram)),
+        ("alpha_bits".into(), bits32(run.search.alpha.data())),
+        ("gmoc_trace_bits".into(), bits32(&run.search.gmoc_trace)),
+        ("macro_f1_bits".into(), bits64(run.outcome.macro_f1)),
+        ("micro_f1_bits".into(), bits64(run.outcome.micro_f1)),
+        ("retrain_epochs".into(), Value::Num(run.outcome.epochs_run as f64)),
+    ]);
+    let text = json::to_string(&digest);
+    match out_path {
+        Some(path) => std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }),
+        None => println!("{text}"),
+    }
+}

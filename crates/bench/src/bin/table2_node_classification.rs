@@ -6,8 +6,8 @@
 
 use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
 use autoac_core::{
-    run_autoac_classification, run_hgca_classification, train_node_classification, Backbone,
-    CompletionMode, HgcaConfig, Pipeline,
+    run_autoac_classification_checkpointed, run_hgca_classification, train_node_classification,
+    Backbone, CompletionMode, HgcaConfig, Pipeline,
 };
 use autoac_completion::CompletionOp;
 use rand::rngs::StdRng;
@@ -129,7 +129,11 @@ fn run_autoac(args: &Args, dataset: &str, backbone: Backbone) -> (Vec<f64>, Vec<
         let data = args.dataset(dataset, seed);
         let cfg = gnn_cfg(&data, backbone, false);
         let ac = autoac_cfg(backbone, dataset, args);
-        let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+        // With --checkpoint-dir, each dataset×backbone×seed cell snapshots
+        // (and with --resume, restarts) independently.
+        let policy = args.ckpt_policy(&format!("{dataset}-{}-s{seed}", backbone.name()));
+        let run =
+            run_autoac_classification_checkpointed(&data, backbone, &cfg, &ac, seed, policy.as_ref());
         ma.push(run.outcome.macro_f1);
         mi.push(run.outcome.micro_f1);
         secs += run.search.search_seconds + run.outcome.seconds;

@@ -3,8 +3,8 @@
 
 use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
 use autoac_core::{
-    run_autoac_classification, run_hgnnac_classification, train_node_classification, Backbone,
-    CompletionMode, HgnnAcConfig, Pipeline,
+    run_autoac_classification_checkpointed, run_hgnnac_classification,
+    train_node_classification, Backbone, CompletionMode, HgnnAcConfig, Pipeline,
 };
 use autoac_completion::CompletionOp;
 use rand::rngs::StdRng;
@@ -47,9 +47,18 @@ fn main() {
                 );
                 ac_ma.push(out.macro_f1);
                 ac_mi.push(out.micro_f1);
-                // AutoAC.
+                // AutoAC (checkpointable with --checkpoint-dir/--resume).
                 let ac = autoac_cfg(backbone, dataset, &args);
-                let run = run_autoac_classification(&data, backbone, &cfg, &ac, seed);
+                let policy =
+                    args.ckpt_policy(&format!("{dataset}-{}-s{seed}", backbone.name()));
+                let run = run_autoac_classification_checkpointed(
+                    &data,
+                    backbone,
+                    &cfg,
+                    &ac,
+                    seed,
+                    policy.as_ref(),
+                );
                 auto_ma.push(run.outcome.macro_f1);
                 auto_mi.push(run.outcome.micro_f1);
             }

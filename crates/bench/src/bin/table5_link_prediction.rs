@@ -3,7 +3,8 @@
 
 use autoac_bench::{autoac_cfg, cell, gnn_cfg, header, row, Args};
 use autoac_core::{
-    run_autoac_link_prediction, train_link_prediction, Backbone, CompletionMode, Pipeline,
+    run_autoac_link_prediction_checkpointed, train_link_prediction, Backbone, CompletionMode,
+    Pipeline,
 };
 use autoac_completion::CompletionOp;
 use autoac_data::mask_edges;
@@ -86,7 +87,17 @@ fn run_autoac(args: &Args, dataset: &str) -> (Vec<f64>, Vec<f64>, f64, f64) {
         let split = mask_edges(&data, 0.10, &mut rng);
         let cfg = gnn_cfg(&data, Backbone::SimpleHgnLp, true);
         let ac = autoac_cfg(Backbone::SimpleHgnLp, dataset, args);
-        let run = run_autoac_link_prediction(&split, Backbone::SimpleHgnLp, &cfg, &ac, seed);
+        // With --checkpoint-dir, each dataset×seed cell snapshots (and with
+        // --resume, restarts) independently.
+        let policy = args.ckpt_policy(&format!("{dataset}-lp-s{seed}"));
+        let run = run_autoac_link_prediction_checkpointed(
+            &split,
+            Backbone::SimpleHgnLp,
+            &cfg,
+            &ac,
+            seed,
+            policy.as_ref(),
+        );
         aucs.push(run.outcome.roc_auc);
         mrrs.push(run.outcome.mrr);
         secs += run.search.search_seconds + run.outcome.seconds;

@@ -5,14 +5,20 @@
 //! experiment index). Each binary accepts:
 //!
 //! ```text
-//! --scale tiny|small|paper   dataset size profile   (default: small)
-//! --seeds N                  repetitions            (default: 3)
-//! --epochs N                 max training epochs    (default: 120)
-//! --search-epochs N          AutoAC search epochs   (default: 30)
+//! --scale tiny|small|paper   dataset size profile            (default: small)
+//! --seeds N                  repetitions                     (default: 3)
+//! --epochs N                 max training epochs             (default: 120)
+//! --search-epochs N          AutoAC search epochs            (default: 30)
+//! --checkpoint-dir DIR       write crash-safe snapshots here (default: off)
+//! --checkpoint-every N       snapshot cadence in epochs      (default: 5)
+//! --resume                   resume from DIR's snapshots     (default: fresh)
 //! ```
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
+use autoac_ckpt::CheckpointPolicy;
 use autoac_core::{AutoAcConfig, Backbone, ClusteringMode, TrainConfig};
 use autoac_data::{presets, synth, Dataset, Scale};
 use autoac_nn::GnnConfig;
@@ -28,22 +34,52 @@ pub struct Args {
     pub epochs: usize,
     /// AutoAC search epochs.
     pub search_epochs: usize,
+    /// Root directory for crash-safe snapshots (`None` disables
+    /// checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in epochs.
+    pub checkpoint_every: usize,
+    /// Resume from existing snapshots under `checkpoint_dir` instead of
+    /// starting fresh.
+    pub resume: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Self { scale: Scale::Small, seeds: 3, epochs: 120, search_epochs: 30 }
+        Self {
+            scale: Scale::Small,
+            seeds: 3,
+            epochs: 120,
+            search_epochs: 30,
+            checkpoint_dir: None,
+            checkpoint_every: 5,
+            resume: false,
+        }
     }
 }
 
 impl Args {
     /// Parses `std::env::args`; unknown flags abort with a usage message.
     pub fn parse() -> Args {
+        Self::parse_extra(|_, _| false)
+    }
+
+    /// [`Args::parse`] with an escape hatch for binary-specific flags: the
+    /// handler sees each `(flag, value)` pair first and returns `true` to
+    /// claim it. Unclaimed unknown flags still abort with the usage
+    /// message.
+    pub fn parse_extra(mut extra: impl FnMut(&str, &str) -> bool) -> Args {
         let mut out = Args::default();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
             let flag = argv[i].as_str();
+            // `--resume` is a boolean switch: no value, advances by one.
+            if flag == "--resume" {
+                out.resume = true;
+                i += 1;
+                continue;
+            }
             let value = argv.get(i + 1).unwrap_or_else(|| usage(flag));
             match flag {
                 "--scale" => {
@@ -54,11 +90,29 @@ impl Args {
                 "--search-epochs" => {
                     out.search_epochs = value.parse().unwrap_or_else(|_| usage(flag))
                 }
+                "--checkpoint-dir" => out.checkpoint_dir = Some(PathBuf::from(value)),
+                "--checkpoint-every" => {
+                    out.checkpoint_every = value.parse().unwrap_or_else(|_| usage(flag));
+                    if out.checkpoint_every == 0 {
+                        usage(flag);
+                    }
+                }
+                _ if extra(flag, value) => {}
                 _ => usage(flag),
             }
             i += 2;
         }
         out
+    }
+
+    /// Checkpoint policy for one named run (e.g. one dataset×seed cell),
+    /// rooted at `<checkpoint-dir>/<label>`; `None` when checkpointing is
+    /// off. Without `--resume` existing snapshots are ignored (snapshots
+    /// are still written), so reruns stay reproducible by default.
+    pub fn ckpt_policy(&self, label: &str) -> Option<CheckpointPolicy> {
+        let dir = self.checkpoint_dir.as_ref()?;
+        let policy = CheckpointPolicy::new(dir.join(label)).checkpoint_every(self.checkpoint_every);
+        Some(if self.resume { policy } else { policy.fresh() })
     }
 
     /// Training settings derived from the arguments.
@@ -78,7 +132,8 @@ impl Args {
 
 fn usage(flag: &str) -> ! {
     eprintln!(
-        "unexpected argument {flag}\nusage: --scale tiny|small|paper --seeds N --epochs N --search-epochs N"
+        "unexpected argument {flag}\nusage: --scale tiny|small|paper --seeds N --epochs N \
+         --search-epochs N --checkpoint-dir DIR --checkpoint-every N --resume"
     );
     std::process::exit(2)
 }
@@ -162,6 +217,17 @@ mod tests {
         let a = Args::default();
         assert_eq!(a.seeds, 3);
         assert!(matches!(a.scale, Scale::Small));
+        assert!(!a.resume);
+        assert_eq!(a.checkpoint_every, 5);
+    }
+
+    #[test]
+    fn ckpt_policy_off_by_default_and_rooted_per_label() {
+        assert!(Args::default().ckpt_policy("x").is_none());
+        let with_dir =
+            Args { checkpoint_dir: Some("/tmp/ckpts".into()), ..Args::default() };
+        let p = with_dir.ckpt_policy("dblp-s0").unwrap();
+        assert_eq!(p.dir(), std::path::Path::new("/tmp/ckpts/dblp-s0"));
     }
 
     #[test]

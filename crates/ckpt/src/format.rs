@@ -1,0 +1,512 @@
+//! The snapshot container format: a magic/version header followed by a flat
+//! table of named, CRC-checked sections.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"AUTOACKP"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      4     section count, u32 LE
+//! then, per section:
+//!         2     name length, u16 LE
+//!         n     name, UTF-8
+//!         8     payload length, u64 LE
+//!         p     payload bytes
+//!         4     CRC-32 of the payload, u32 LE
+//! ```
+//!
+//! Everything is little-endian. Floats are stored as their raw IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), so NaN payloads, `-0.0`, and subnormals
+//! survive a round trip exactly — the same guarantee for every value the
+//! optimizer state can reach. A truncated file surfaces as
+//! [`CkptError::Truncated`]; a flipped bit surfaces as [`CkptError::Crc`]
+//! naming the damaged section.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use autoac_tensor::Matrix;
+
+use crate::crc::crc32;
+
+/// File magic, first 8 bytes of every snapshot.
+pub const MAGIC: &[u8; 8] = b"AUTOACKP";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors surfaced while writing, reading, or decoding a snapshot.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// Snapshot written by an unknown (newer) format version.
+    BadVersion(u32),
+    /// The file ends mid-structure (e.g. the process died mid-write without
+    /// the atomic rename, or the file was truncated on disk).
+    Truncated,
+    /// A section's payload does not match its stored CRC-32.
+    Crc {
+        /// Name of the damaged section.
+        section: String,
+    },
+    /// A required section is absent.
+    Missing(String),
+    /// A section is present but its payload does not decode as the expected
+    /// shape/type.
+    Malformed {
+        /// Name of the offending section.
+        section: String,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// Snapshot metadata disagrees with the run trying to resume from it.
+    Mismatch {
+        /// Which fingerprint/field disagrees.
+        field: &'static str,
+        /// Value recorded in the snapshot.
+        found: u64,
+        /// Value of the current run.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::BadVersion(v) => write!(f, "unsupported checkpoint format version {v}"),
+            CkptError::Truncated => write!(f, "checkpoint file is truncated"),
+            CkptError::Crc { section } => {
+                write!(f, "checkpoint section `{section}` failed its CRC check (corrupt)")
+            }
+            CkptError::Missing(s) => write!(f, "checkpoint is missing section `{s}`"),
+            CkptError::Malformed { section, reason } => {
+                write!(f, "checkpoint section `{section}` is malformed: {reason}")
+            }
+            CkptError::Mismatch { field, found, expected } => write!(
+                f,
+                "refusing to resume: snapshot {field} {found:#018x} does not match \
+                 the current run's {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// An in-memory snapshot: an ordered map of named byte sections plus typed
+/// put/get helpers for the payload kinds the run states need.
+#[derive(Debug, Default, Clone)]
+pub struct Snapshot {
+    sections: BTreeMap<String, Vec<u8>>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Whether the snapshot holds no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Inserts (or replaces) a raw section.
+    pub fn put(&mut self, name: &str, bytes: Vec<u8>) {
+        self.sections.insert(name.to_string(), bytes);
+    }
+
+    /// Raw payload of a section.
+    pub fn get(&self, name: &str) -> Result<&[u8], CkptError> {
+        self.sections
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| CkptError::Missing(name.to_string()))
+    }
+
+    /// Whether a section exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sections.contains_key(name)
+    }
+
+    // -- typed helpers ------------------------------------------------------
+
+    /// Stores a `u64` scalar.
+    pub fn put_u64(&mut self, name: &str, v: u64) {
+        self.put(name, v.to_le_bytes().to_vec());
+    }
+
+    /// Reads a `u64` scalar.
+    pub fn get_u64(&self, name: &str) -> Result<u64, CkptError> {
+        let b = self.get(name)?;
+        let arr: [u8; 8] = b
+            .try_into()
+            .map_err(|_| malformed(name, "expected exactly 8 bytes"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Stores an `f64` scalar bit-exactly.
+    pub fn put_f64(&mut self, name: &str, v: f64) {
+        self.put_u64(name, v.to_bits());
+    }
+
+    /// Reads an `f64` scalar bit-exactly.
+    pub fn get_f64(&self, name: &str) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.get_u64(name)?))
+    }
+
+    /// Stores a `u64` slice.
+    pub fn put_u64s(&mut self, name: &str, vs: &[u64]) {
+        let mut out = Vec::with_capacity(vs.len() * 8);
+        for v in vs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put(name, out);
+    }
+
+    /// Reads a `u64` slice.
+    pub fn get_u64s(&self, name: &str) -> Result<Vec<u64>, CkptError> {
+        let b = self.get(name)?;
+        if b.len() % 8 != 0 {
+            return Err(malformed(name, "length not a multiple of 8"));
+        }
+        Ok(b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Stores a `u32` slice.
+    pub fn put_u32s(&mut self, name: &str, vs: &[u32]) {
+        let mut out = Vec::with_capacity(vs.len() * 4);
+        for v in vs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put(name, out);
+    }
+
+    /// Reads a `u32` slice.
+    pub fn get_u32s(&self, name: &str) -> Result<Vec<u32>, CkptError> {
+        let b = self.get(name)?;
+        if b.len() % 4 != 0 {
+            return Err(malformed(name, "length not a multiple of 4"));
+        }
+        Ok(b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Stores an `f32` slice as raw bit patterns (NaN payloads, `-0.0`, and
+    /// subnormals survive exactly).
+    pub fn put_f32s(&mut self, name: &str, vs: &[f32]) {
+        let mut out = Vec::with_capacity(vs.len() * 4);
+        for v in vs {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.put(name, out);
+    }
+
+    /// Reads an `f32` slice stored by [`Snapshot::put_f32s`].
+    pub fn get_f32s(&self, name: &str) -> Result<Vec<f32>, CkptError> {
+        Ok(self.get_u32s(name)?.into_iter().map(f32::from_bits).collect())
+    }
+
+    /// Stores a UTF-8 string.
+    pub fn put_str(&mut self, name: &str, s: &str) {
+        self.put(name, s.as_bytes().to_vec());
+    }
+
+    /// Reads a UTF-8 string.
+    pub fn get_str(&self, name: &str) -> Result<String, CkptError> {
+        String::from_utf8(self.get(name)?.to_vec())
+            .map_err(|_| malformed(name, "payload is not UTF-8"))
+    }
+
+    /// Stores a matrix: `rows` and `cols` as u64 LE, then the row-major
+    /// `f32` data as raw bit patterns.
+    pub fn put_matrix(&mut self, name: &str, m: &Matrix) {
+        self.put(name, encode_matrix(m));
+    }
+
+    /// Reads a matrix stored by [`Snapshot::put_matrix`].
+    pub fn get_matrix(&self, name: &str) -> Result<Matrix, CkptError> {
+        let b = self.get(name)?;
+        let (m, rest) = decode_matrix(b, name)?;
+        if !rest.is_empty() {
+            return Err(malformed(name, "trailing bytes after matrix"));
+        }
+        Ok(m)
+    }
+
+    /// Stores a list of matrices (u64 count, then each matrix).
+    pub fn put_matrices(&mut self, name: &str, ms: &[Matrix]) {
+        let mut out = (ms.len() as u64).to_le_bytes().to_vec();
+        for m in ms {
+            out.extend_from_slice(&encode_matrix(m));
+        }
+        self.put(name, out);
+    }
+
+    /// Reads a list of matrices stored by [`Snapshot::put_matrices`].
+    pub fn get_matrices(&self, name: &str) -> Result<Vec<Matrix>, CkptError> {
+        let b = self.get(name)?;
+        if b.len() < 8 {
+            return Err(malformed(name, "missing matrix count"));
+        }
+        let count = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
+        let mut rest = &b[8..];
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (m, r) = decode_matrix(rest, name)?;
+            out.push(m);
+            rest = r;
+        }
+        if !rest.is_empty() {
+            return Err(malformed(name, "trailing bytes after matrix list"));
+        }
+        Ok(out)
+    }
+
+    // -- wire format --------------------------------------------------------
+
+    /// Serializes header + section table to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses bytes produced by [`Snapshot::encode`], verifying the magic,
+    /// version, and every section CRC.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(8)? != MAGIC.as_slice() {
+            return Err(CkptError::BadMagic);
+        }
+        let version = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(CkptError::BadVersion(version));
+        }
+        let count = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+        let mut sections = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(cur.take(2)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(cur.take(name_len)?)
+                .map_err(|_| malformed("<header>", "section name is not UTF-8"))?
+                .to_string();
+            let payload_len = u64::from_le_bytes(cur.take(8)?.try_into().unwrap()) as usize;
+            let payload = cur.take(payload_len)?.to_vec();
+            let stored = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+            if crc32(&payload) != stored {
+                return Err(CkptError::Crc { section: name });
+            }
+            sections.insert(name, payload);
+        }
+        if cur.pos != bytes.len() {
+            return Err(malformed("<trailer>", "trailing bytes after last section"));
+        }
+        Ok(Self { sections })
+    }
+
+    /// Writes the snapshot to `path` atomically: the bytes go to a `.tmp`
+    /// sibling first (flushed and fsynced), which is then renamed over the
+    /// final name. A crash mid-write can leave a stale `.tmp` around but
+    /// never a half-written snapshot under the final name.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CkptError> {
+        let tmp = path.with_extension("bin.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn read(path: &Path) -> Result<Self, CkptError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+}
+
+fn malformed(section: &str, reason: &'static str) -> CkptError {
+    CkptError::Malformed { section: section.to_string(), reason }
+}
+
+fn encode_matrix(m: &Matrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + m.len() * 4);
+    out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+    for v in m.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn decode_matrix<'a>(b: &'a [u8], name: &str) -> Result<(Matrix, &'a [u8]), CkptError> {
+    if b.len() < 16 {
+        return Err(malformed(name, "matrix header truncated"));
+    }
+    let rows = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
+    let cols = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+    let n = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| malformed(name, "matrix dimensions overflow"))?;
+    let rest = &b[16..];
+    if rest.len() < n {
+        return Err(malformed(name, "matrix data truncated"));
+    }
+    let data: Vec<f32> = rest[..n]
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    Ok((Matrix::from_vec(rows, cols, data), &rest[n..]))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CkptError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.put_u64("epoch", 42);
+        s.put_f64("best_val", -0.0);
+        s.put_u64s("rng", &[1, 2, 3, u64::MAX]);
+        s.put_u32s("clusters", &[0, 7, 3]);
+        s.put_f32s("trace", &[f32::NAN, -0.0, 1.5e-45, 3.2]);
+        s.put_str("kind", "search");
+        s.put_matrix("alpha", &Matrix::from_rows(&[&[0.25, -0.0], &[f32::INFINITY, 2.0]]));
+        s.put_matrices(
+            "omega",
+            &[Matrix::zeros(2, 3), Matrix::from_vec(1, 1, vec![f32::MIN_POSITIVE])],
+        );
+        s
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_exact() {
+        let s = sample();
+        let back = Snapshot::decode(&s.encode()).unwrap();
+        assert_eq!(back.get_u64("epoch").unwrap(), 42);
+        assert_eq!(back.get_f64("best_val").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.get_u64s("rng").unwrap(), vec![1, 2, 3, u64::MAX]);
+        assert_eq!(back.get_u32s("clusters").unwrap(), vec![0, 7, 3]);
+        let trace = back.get_f32s("trace").unwrap();
+        assert!(trace[0].is_nan());
+        assert_eq!(trace[1].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(trace[2].to_bits(), 1.5e-45f32.to_bits());
+        assert_eq!(back.get_str("kind").unwrap(), "search");
+        let alpha = back.get_matrix("alpha").unwrap();
+        assert_eq!(alpha.shape(), (2, 2));
+        assert_eq!(alpha.get(1, 0), f32::INFINITY);
+        assert_eq!(alpha.get(0, 1).to_bits(), (-0.0f32).to_bits());
+        let omega = back.get_matrices("omega").unwrap();
+        assert_eq!(omega.len(), 2);
+        assert_eq!(omega[0].shape(), (2, 3));
+        assert_eq!(omega[1].get(0, 0), f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn corruption_is_detected_per_section() {
+        let bytes = sample().encode();
+        // Flip one bit in every byte position past the header; decoding must
+        // never silently succeed with different content.
+        let mut undetected = 0;
+        for i in 16..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            match Snapshot::decode(&bad) {
+                Err(_) => {}
+                Ok(s) => {
+                    // Flips confined to a section *name* byte can still parse
+                    // if the mutated name is valid UTF-8 — but then the
+                    // expected section is missing, which lookups catch.
+                    if s.get_u64("epoch").map_or(false, |v| v == 42)
+                        && s.contains("alpha")
+                        && s.contains("omega")
+                        && s.contains("rng")
+                        && s.contains("clusters")
+                        && s.contains("trace")
+                        && s.contains("kind")
+                        && s.contains("best_val")
+                    {
+                        undetected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(undetected, 0, "{undetected} corrupted variants decoded cleanly");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in [1, 9, 13, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} bytes went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        assert!(matches!(Snapshot::decode(b"not a checkpoint"), Err(CkptError::BadMagic)));
+        let mut versioned = MAGIC.to_vec();
+        versioned.extend_from_slice(&99u32.to_le_bytes());
+        versioned.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(Snapshot::decode(&versioned), Err(CkptError::BadVersion(99))));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("autoac-ckpt-fmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        sample().write_atomic(&path).unwrap();
+        let back = Snapshot::read(&path).unwrap();
+        assert_eq!(back.get_u64("epoch").unwrap(), 42);
+        assert!(
+            !path.with_extension("bin.tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

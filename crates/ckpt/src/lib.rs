@@ -1,0 +1,43 @@
+//! # autoac-ckpt
+//!
+//! Crash-safe checkpointing and bit-exact resume for AutoAC runs.
+//!
+//! The bi-level search (paper §IV, Algorithm 1) is the most expensive stage
+//! of the pipeline; this crate makes it durable. A run can be frozen at any
+//! epoch boundary into a binary snapshot and restarted **bit-identically**:
+//! the snapshot captures every ω parameter leaf, both Adam states (first and
+//! second moments plus step counts for the ω and α groups), the α matrix,
+//! cluster assignments, early-stopping counters, and the raw xoshiro256++
+//! RNG state, all with exact IEEE-754 bit patterns (NaN payloads, `-0.0`,
+//! and subnormals included).
+//!
+//! The format is hand-rolled (the build environment vendors all third-party
+//! code, so no serde): a magic + version header followed by named sections,
+//! each CRC-32-checked — see [`format`] for the byte layout. Writes are
+//! atomic (tmp file + rename) and a configurable number of recent snapshots
+//! is retained, so a crash mid-write or a corrupted file costs at most a few
+//! epochs of recomputation, never the run.
+//!
+//! Snapshots record the graph's structural fingerprint, a config
+//! fingerprint, and the run seed; resuming against a different dataset,
+//! config, or seed fails loudly ([`CkptError::Mismatch`]) instead of
+//! silently diverging.
+//!
+//! Layering: [`format::Snapshot`] is the container, [`dir::CheckpointDir`]
+//! manages naming/retention/fallback on disk, [`state`] defines the typed
+//! search/train payloads, and [`policy::CheckpointPolicy`] is the knob
+//! surface the `autoac-core` loops consume.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod dir;
+pub mod format;
+pub mod policy;
+pub mod state;
+
+pub use crc::crc32;
+pub use dir::CheckpointDir;
+pub use format::{CkptError, Snapshot, MAGIC, VERSION};
+pub use policy::CheckpointPolicy;
+pub use state::{Fingerprint, RunMeta, SearchState, TrainState};

@@ -1,0 +1,130 @@
+//! Property tests over the binary snapshot format: every `f32` bit pattern —
+//! NaN payloads, `-0.0`, subnormals, infinities — must survive a
+//! write→read round trip exactly, mirroring the `-0.0` guarantee the JSON
+//! writer has. Unlike JSON (which spells non-finite values as `null`), the
+//! binary format stores raw IEEE-754 bits, so even NaN payloads are part of
+//! the contract here.
+
+use autoac_ckpt::{CkptError, Snapshot};
+use autoac_tensor::Matrix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Bit patterns that exercise every tricky corner of IEEE-754 binary32.
+const SPECIAL_BITS: &[u32] = &[
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x0000_0001, // smallest positive subnormal
+    0x8000_0001, // smallest negative subnormal
+    0x007F_FFFF, // largest subnormal
+    0x0080_0000, // smallest positive normal
+    0x7F7F_FFFF, // f32::MAX
+    0xFF7F_FFFF, // f32::MIN
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x7FC0_0000, // canonical quiet NaN
+    0xFFC0_0001, // negative quiet NaN with payload
+    0x7F80_0001, // signaling NaN, minimal payload
+    0x7FBF_FFFF, // signaling NaN, maximal payload
+    0xFFFF_FFFF, // negative quiet NaN, all-ones payload
+];
+
+fn assert_bits_eq(got: &[f32], want_bits: &[u32]) {
+    assert_eq!(got.len(), want_bits.len());
+    for (i, (g, w)) in got.iter().zip(want_bits).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            *w,
+            "element {i}: bits {:#010x} came back as {:#010x}",
+            w,
+            g.to_bits()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f32_sections_roundtrip_every_bit_pattern(
+        random_bits in vec(0u32..u32::MAX, 0..200),
+        offset in 0u32..u32::MAX,
+    ) {
+        // Random patterns plus every special value, so each case covers the
+        // whole tricky corner set regardless of what the RNG drew.
+        let mut bits = random_bits;
+        bits.extend_from_slice(SPECIAL_BITS);
+        bits.push(offset);
+        let values: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+
+        let mut snap = Snapshot::new();
+        snap.put_f32s("payload", &values);
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_bits_eq(&back.get_f32s("payload").unwrap(), &bits);
+    }
+
+    #[test]
+    fn matrix_sections_roundtrip_every_bit_pattern(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed_bits in vec(0u32..u32::MAX, 36),
+    ) {
+        // Fill an rows×cols matrix from the pattern pool, cycling specials in.
+        let n = rows * cols;
+        let bits: Vec<u32> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    SPECIAL_BITS[i % SPECIAL_BITS.len()]
+                } else {
+                    seed_bits[i % seed_bits.len()]
+                }
+            })
+            .collect();
+        let m = Matrix::from_vec(rows, cols, bits.iter().map(|&b| f32::from_bits(b)).collect());
+
+        let mut snap = Snapshot::new();
+        snap.put_matrix("m", &m);
+        snap.put_matrices("ms", std::slice::from_ref(&m));
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+
+        let single = back.get_matrix("m").unwrap();
+        prop_assert_eq!(single.shape(), (rows, cols));
+        assert_bits_eq(single.data(), &bits);
+        let listed = back.get_matrices("ms").unwrap();
+        prop_assert_eq!(listed.len(), 1);
+        assert_bits_eq(listed[0].data(), &bits);
+    }
+
+    #[test]
+    fn corrupting_any_payload_byte_is_detected(
+        payload in vec(0u32..u32::MAX, 1..64),
+        victim in 0usize..1024,
+        flip in 1u32..256,
+    ) {
+        let flip = flip as u8;
+        let mut snap = Snapshot::new();
+        snap.put_u32s("data", &payload);
+        let clean = snap.encode();
+        // Corrupt one byte inside the payload region (the last 4 bytes are
+        // the CRC; flipping those is equally detected, so include them).
+        let payload_start = clean.len() - payload.len() * 4 - 4;
+        let idx = payload_start + victim % (payload.len() * 4 + 4);
+        let mut bad = clean.clone();
+        bad[idx] ^= flip;
+        match Snapshot::decode(&bad) {
+            Err(CkptError::Crc { section }) => prop_assert_eq!(section.as_str(), "data"),
+            other => panic!("corruption at byte {idx} not caught: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn u32_max_bit_pattern_roundtrips() {
+    // The range strategy above is half-open, so pin the all-ones word (a
+    // negative quiet NaN with full payload) explicitly.
+    let values = [f32::from_bits(u32::MAX)];
+    let mut snap = Snapshot::new();
+    snap.put_f32s("x", &values);
+    let back = Snapshot::decode(&snap.encode()).unwrap();
+    assert_eq!(back.get_f32s("x").unwrap()[0].to_bits(), u32::MAX);
+}

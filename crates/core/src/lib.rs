@@ -34,11 +34,13 @@ pub use hgca::{pretrain_hgca, run_hgca_classification, HgcaConfig, HgcaPipe};
 pub use hgnnac::{run_hgnnac_classification, HgnnAcConfig, HgnnAcPipe};
 pub use pipeline::{random_assignment, Backbone, CompletionMode, ForwardPipe, Pipeline};
 pub use search::{
-    derive_assignment, run_autoac_classification, run_autoac_link_prediction, search,
-    AutoAcClsRun, AutoAcConfig, AutoAcLpRun, ClassificationTask, ClusteringMode,
-    LinkPredictionTask, SearchOutcome,
+    derive_assignment, run_autoac_classification, run_autoac_classification_checkpointed,
+    run_autoac_link_prediction, run_autoac_link_prediction_checkpointed, search,
+    search_checkpointed, AutoAcClsRun, AutoAcConfig, AutoAcLpRun, ClassificationTask,
+    ClusteringMode, LinkPredictionTask, SearchOutcome,
 };
 pub use trainer::{
     eval_classification, eval_link_prediction, train_link_prediction,
-    train_node_classification, ClsOutcome, LpOutcome, TrainConfig,
+    train_link_prediction_checkpointed, train_node_classification,
+    train_node_classification_checkpointed, ClsOutcome, LpOutcome, TrainConfig,
 };

@@ -5,6 +5,7 @@
 
 use std::time::Instant;
 
+use autoac_ckpt::{CheckpointPolicy, Fingerprint, RunMeta, SearchState};
 use autoac_completion::{complete_assigned, complete_mixture, CompletionOp};
 use autoac_data::{Dataset, LinkSplit};
 use autoac_graph::OpCache;
@@ -17,7 +18,8 @@ use crate::cluster::{kmeans, ClusterHead, ModularityContext};
 use crate::pipeline::{Backbone, CompletionMode, ForwardPipe, Pipeline};
 use crate::proximal::{argmax_rows, prox_c1, prox_c2};
 use crate::trainer::{
-    train_link_prediction, train_node_classification, ClsOutcome, LpOutcome, TrainConfig,
+    train_link_prediction_checkpointed, train_node_classification_checkpointed, ClsOutcome,
+    LpOutcome, TrainConfig,
 };
 
 /// How `V⁻` nodes are grouped for the completion parameters α.
@@ -72,6 +74,35 @@ impl Default for AutoAcConfig {
             omega_warmup: 5,
             train: TrainConfig::default(),
         }
+    }
+}
+
+impl AutoAcConfig {
+    /// Fingerprint over every field that shapes the per-epoch search
+    /// trajectory, recorded in checkpoints so a resume against a different
+    /// configuration fails loudly. `search_epochs` (and `train.epochs`,
+    /// unused by the search loop) are deliberately excluded: they only set
+    /// the horizon, so an interrupted run may be resumed with a longer
+    /// budget.
+    pub fn fingerprint(&self) -> u64 {
+        let (mode, warmup) = match self.clustering {
+            ClusteringMode::GmoC => (0u64, 0u64),
+            ClusteringMode::NoCluster => (1, 0),
+            ClusteringMode::Em => (2, 0),
+            ClusteringMode::EmWarmup(w) => (3, w as u64),
+        };
+        Fingerprint::new()
+            .u64(self.clusters as u64)
+            .f32(self.lambda)
+            .f32(self.alpha_lr)
+            .f32(self.alpha_wd)
+            .bool(self.discrete)
+            .u64(mode)
+            .u64(warmup)
+            .u64(self.omega_warmup as u64)
+            .f32(self.train.lr)
+            .f32(self.train.weight_decay)
+            .finish()
     }
 }
 
@@ -197,6 +228,27 @@ pub fn search_cached(
     seed: u64,
     cache: &OpCache,
 ) -> SearchOutcome {
+    search_checkpointed(data, backbone, gnn_cfg, ac, task, seed, cache, None)
+}
+
+/// [`search_cached`] with crash-safe checkpointing: when a
+/// [`CheckpointPolicy`] is given, the full loop state (ω leaves, both Adam
+/// states, α, cluster assignments, best-so-far tracking, RNG state) is
+/// snapshotted at the policy's cadence, and — if the policy allows resuming
+/// and a readable snapshot exists — the search restarts from it
+/// **bit-identically** to an uninterrupted run. Snapshots from a different
+/// graph, config, or seed are rejected loudly.
+#[allow(clippy::too_many_arguments)]
+pub fn search_checkpointed(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    task: &dyn SearchTask,
+    seed: u64,
+    cache: &OpCache,
+    policy: Option<&CheckpointPolicy>,
+) -> SearchOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let pipe = Pipeline::new_cached(data, backbone, gnn_cfg, CompletionMode::Zero, cache, &mut rng);
     let n_minus = pipe.ops.ctx().num_missing();
@@ -255,8 +307,49 @@ pub fn search_cached(
     // poor assignment (standard NAS practice: report the best-val arch).
     let mut best_val = f32::INFINITY;
     let mut best_snapshot: Option<(Matrix, Vec<u32>)> = None;
+
+    // Resume: the setup above re-derived everything deterministic from the
+    // seed; a snapshot overwrites the parts that evolved during the
+    // interrupted run, restarting the loop at the captured epoch boundary.
+    let meta = RunMeta {
+        kind: "search".into(),
+        graph_fp: data.graph.structural_fingerprint(),
+        config_fp: ac.fingerprint(),
+        seed,
+    };
+    let mut start_epoch = 0usize;
+    let mut elapsed_prior = 0.0f64;
+    if let Some(pol) = policy {
+        let resumed = pol
+            .resume_snapshot()
+            .unwrap_or_else(|e| panic!("autoac-ckpt: cannot resume search: {e}"));
+        if let Some((_, snap)) = resumed {
+            let state = SearchState::from_snapshot(&snap)
+                .unwrap_or_else(|e| panic!("autoac-ckpt: invalid search snapshot: {e}"));
+            state.meta.validate(&meta).unwrap_or_else(|e| panic!("autoac-ckpt: {e}"));
+            assert_eq!(
+                state.omega.len(),
+                omega.len(),
+                "autoac-ckpt: snapshot has a different ω parameter count"
+            );
+            alpha.set_value(state.alpha);
+            for (p, m) in omega.iter().zip(state.omega) {
+                p.set_value(m);
+            }
+            alpha_opt.import_state(state.alpha_opt);
+            omega_opt.import_state(state.omega_opt);
+            cluster_of = state.cluster_of;
+            best_val = state.best_val;
+            best_snapshot = state.best;
+            gmoc_trace = state.gmoc_trace;
+            rng = StdRng::from_state(state.rng);
+            start_epoch = state.epochs_done as usize;
+            elapsed_prior = state.elapsed_seconds;
+        }
+    }
+
     let start = Instant::now();
-    for epoch in 0..ac.search_epochs {
+    for epoch in start_epoch..ac.search_epochs {
         // ------- Upper level: update α on the validation loss -----------
         alpha_opt.zero_grad();
         omega_opt.zero_grad(); // the α backward also touches ω; discard
@@ -339,8 +432,33 @@ pub fn search_cached(
             }
             ClusteringMode::NoCluster => {}
         }
+
+        // ------- Snapshot the completed epoch -----------------------------
+        if let Some(pol) = policy {
+            if pol.should_checkpoint(epoch + 1) {
+                let state = SearchState {
+                    meta: meta.clone(),
+                    epochs_done: (epoch + 1) as u64,
+                    elapsed_seconds: elapsed_prior + start.elapsed().as_secs_f64(),
+                    rng: rng.state(),
+                    alpha: alpha.to_matrix(),
+                    omega: omega.iter().map(Tensor::to_matrix).collect(),
+                    alpha_opt: alpha_opt.export_state(),
+                    omega_opt: omega_opt.export_state(),
+                    cluster_of: cluster_of.clone(),
+                    best_val,
+                    best: best_snapshot.clone(),
+                    gmoc_trace: gmoc_trace.clone(),
+                };
+                if let Err(e) = pol.save(epoch + 1, &state.to_snapshot()) {
+                    // A failed snapshot must not kill a healthy run.
+                    eprintln!("autoac-ckpt: failed to write search snapshot: {e}");
+                }
+            }
+            pol.throttle();
+        }
     }
-    let search_seconds = start.elapsed().as_secs_f64();
+    let search_seconds = elapsed_prior + start.elapsed().as_secs_f64();
 
     let (final_alpha, final_clusters) = match best_snapshot {
         Some((a, c)) => (a, c),
@@ -400,11 +518,36 @@ pub fn run_autoac_classification(
     ac: &AutoAcConfig,
     seed: u64,
 ) -> AutoAcClsRun {
+    run_autoac_classification_checkpointed(data, backbone, gnn_cfg, ac, seed, None)
+}
+
+/// [`run_autoac_classification`] with crash-safe checkpointing: the search
+/// and retraining stages each snapshot under a substage directory
+/// (`<dir>/search`, `<dir>/retrain`) of the given policy, and a rerun after
+/// a crash fast-forwards through whatever the snapshots already cover.
+pub fn run_autoac_classification_checkpointed(
+    data: &Dataset,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    seed: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> AutoAcClsRun {
     let task = ClassificationTask::new(data);
     // One cache spans search and retraining: the retrain pipeline's
     // operators are all hits.
     let cache = OpCache::new(&data.graph);
-    let search_out = search_cached(data, backbone, gnn_cfg, ac, &task, seed, &cache);
+    let search_pol = policy.map(|p| p.substage("search"));
+    let search_out = search_checkpointed(
+        data,
+        backbone,
+        gnn_cfg,
+        ac,
+        &task,
+        seed,
+        &cache,
+        search_pol.as_ref(),
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
     let pipe = Pipeline::new_cached(
         data,
@@ -414,7 +557,14 @@ pub fn run_autoac_classification(
         &cache,
         &mut rng,
     );
-    let outcome = train_node_classification(&pipe, data, &ac.train, seed ^ 0x7e7e);
+    let retrain_pol = policy.map(|p| p.substage("retrain"));
+    let outcome = train_node_classification_checkpointed(
+        &pipe,
+        data,
+        &ac.train,
+        seed ^ 0x7e7e,
+        retrain_pol.as_ref(),
+    );
     AutoAcClsRun { search: search_out, outcome }
 }
 
@@ -435,9 +585,32 @@ pub fn run_autoac_link_prediction(
     ac: &AutoAcConfig,
     seed: u64,
 ) -> AutoAcLpRun {
+    run_autoac_link_prediction_checkpointed(split, backbone, gnn_cfg, ac, seed, None)
+}
+
+/// [`run_autoac_link_prediction`] with crash-safe checkpointing; see
+/// [`run_autoac_classification_checkpointed`] for the substage layout.
+pub fn run_autoac_link_prediction_checkpointed(
+    split: &LinkSplit,
+    backbone: Backbone,
+    gnn_cfg: &GnnConfig,
+    ac: &AutoAcConfig,
+    seed: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> AutoAcLpRun {
     let task = LinkPredictionTask::new(split);
     let cache = OpCache::new(&split.train_data.graph);
-    let search_out = search_cached(&split.train_data, backbone, gnn_cfg, ac, &task, seed, &cache);
+    let search_pol = policy.map(|p| p.substage("search"));
+    let search_out = search_checkpointed(
+        &split.train_data,
+        backbone,
+        gnn_cfg,
+        ac,
+        &task,
+        seed,
+        &cache,
+        search_pol.as_ref(),
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
     let pipe = Pipeline::new_cached(
         &split.train_data,
@@ -447,7 +620,14 @@ pub fn run_autoac_link_prediction(
         &cache,
         &mut rng,
     );
-    let outcome = train_link_prediction(&pipe, split, &ac.train, seed ^ 0x7e7e);
+    let retrain_pol = policy.map(|p| p.substage("retrain"));
+    let outcome = train_link_prediction_checkpointed(
+        &pipe,
+        split,
+        &ac.train,
+        seed ^ 0x7e7e,
+        retrain_pol.as_ref(),
+    );
     AutoAcLpRun { search: search_out, outcome }
 }
 

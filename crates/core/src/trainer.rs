@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use autoac_ckpt::{CheckpointPolicy, Fingerprint, RunMeta, TrainState};
 use autoac_data::{Dataset, LinkSplit};
 use autoac_eval::{argmax_predictions, f1_scores, mrr, roc_auc};
 use autoac_tensor::{Adam, AdamConfig, Matrix, Tensor};
@@ -29,6 +30,20 @@ pub struct TrainConfig {
 impl Default for TrainConfig {
     fn default() -> Self {
         Self { epochs: 150, patience: 25, lr: 5e-3, weight_decay: 1e-4 }
+    }
+}
+
+impl TrainConfig {
+    /// Fingerprint of the trajectory-shaping fields, recorded in snapshots
+    /// so resume against a different optimizer setup fails loudly. `epochs`
+    /// is deliberately excluded: it only bounds the horizon, and resuming an
+    /// interrupted run with a longer budget is a legitimate use.
+    pub fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f32(self.lr)
+            .f32(self.weight_decay)
+            .u64(self.patience as u64)
+            .finish()
     }
 }
 
@@ -92,18 +107,63 @@ pub fn train_node_classification(
     cfg: &TrainConfig,
     seed: u64,
 ) -> ClsOutcome {
+    train_node_classification_checkpointed(pipe, data, cfg, seed, None)
+}
+
+/// [`train_node_classification`] with optional crash-safe checkpointing:
+/// with a policy, the full optimization state (parameters, Adam moments,
+/// RNG, early-stopping counters) is snapshotted at epoch boundaries, and a
+/// rerun over the same pipeline resumes bit-identically from the latest
+/// good snapshot.
+pub fn train_node_classification_checkpointed(
+    pipe: &dyn ForwardPipe,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    seed: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> ClsOutcome {
     assert!(data.num_classes > 0, "dataset has no classification task");
     let mut rng = StdRng::seed_from_u64(seed);
     let labels = data.global_labels();
     let params = pipe.params();
     let mut opt = Adam::new(params.clone(), AdamConfig::with(cfg.lr, cfg.weight_decay));
-    let start = Instant::now();
     let mut best_val = f64::NEG_INFINITY;
     let mut best_snap = snapshot(&params);
     let mut bad_epochs = 0;
-    let mut epochs_run = 0;
-    for _ in 0..cfg.epochs {
-        epochs_run += 1;
+
+    let meta = RunMeta {
+        kind: "train-cls".into(),
+        graph_fp: data.graph.structural_fingerprint(),
+        config_fp: cfg.fingerprint(),
+        seed,
+    };
+    let mut start_epoch = 0usize;
+    let mut elapsed_prior = 0.0f64;
+    if let Some(pol) = policy {
+        if let Some(state) = resume_train_state(pol, &meta, params.len()) {
+            restore(&params, &state.params);
+            opt.import_state(state.opt);
+            best_val = state.best_val;
+            best_snap = state.best_snap;
+            bad_epochs = state.bad_epochs as usize;
+            rng = StdRng::from_state(state.rng);
+            start_epoch = state.epochs_done as usize;
+            elapsed_prior = state.elapsed_seconds;
+        }
+    }
+
+    let start = Instant::now();
+    let mut epochs_run = start_epoch;
+    for epoch in start_epoch..cfg.epochs {
+        // The patience check sits at the loop top (rather than breaking
+        // right after the counter update) so the stopping epoch itself gets
+        // checkpointed; `bad_epochs > 0` keeps the control flow identical
+        // even at `patience == 0`, where the original still ran one epoch
+        // before its post-increment check could fire.
+        if bad_epochs > 0 && bad_epochs >= cfg.patience {
+            break;
+        }
+        epochs_run = epoch + 1;
         opt.zero_grad();
         let fwd = pipe.forward(true, &mut rng);
         let loss = fwd.output.cross_entropy_rows(&labels, &data.split.train);
@@ -118,15 +178,58 @@ pub fn train_node_classification(
             bad_epochs = 0;
         } else {
             bad_epochs += 1;
-            if bad_epochs >= cfg.patience {
-                break;
+        }
+
+        if let Some(pol) = policy {
+            if pol.should_checkpoint(epoch + 1) {
+                let state = TrainState {
+                    meta: meta.clone(),
+                    epochs_done: (epoch + 1) as u64,
+                    elapsed_seconds: elapsed_prior + start.elapsed().as_secs_f64(),
+                    rng: rng.state(),
+                    params: snapshot(&params),
+                    opt: opt.export_state(),
+                    best_val,
+                    best_snap: best_snap.clone(),
+                    bad_epochs: bad_epochs as u64,
+                };
+                if let Err(e) = pol.save(epoch + 1, &state.to_snapshot()) {
+                    eprintln!("autoac-ckpt: failed to write training snapshot: {e}");
+                }
             }
+            pol.throttle();
         }
     }
     restore(&params, &best_snap);
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = elapsed_prior + start.elapsed().as_secs_f64();
     let test = eval_classification(pipe, data, &data.split.test, &mut rng);
     ClsOutcome { macro_f1: test.macro_f1, micro_f1: test.micro_f1, seconds, epochs_run }
+}
+
+/// Loads and validates the latest training snapshot under `pol`, panicking
+/// on identity mismatches (wrong graph/config/seed) and on parameter-count
+/// drift; returns `None` when there is nothing to resume from.
+fn resume_train_state(
+    pol: &CheckpointPolicy,
+    expected: &RunMeta,
+    n_params: usize,
+) -> Option<TrainState> {
+    let resumed = pol
+        .resume_snapshot()
+        .unwrap_or_else(|e| panic!("autoac-ckpt: cannot resume training: {e}"));
+    let (_, snap) = resumed?;
+    let state = TrainState::from_snapshot(&snap)
+        .unwrap_or_else(|e| panic!("autoac-ckpt: invalid training snapshot: {e}"));
+    state
+        .meta
+        .validate(expected)
+        .unwrap_or_else(|e| panic!("autoac-ckpt: {e}"));
+    assert_eq!(
+        state.params.len(),
+        n_params,
+        "autoac-ckpt: snapshot has a different parameter count"
+    );
+    Some(state)
 }
 
 /// Evaluates classification F1 on a node subset.
@@ -159,6 +262,20 @@ pub fn train_link_prediction(
     cfg: &TrainConfig,
     seed: u64,
 ) -> LpOutcome {
+    train_link_prediction_checkpointed(pipe, split, cfg, seed, None)
+}
+
+/// [`train_link_prediction`] with optional crash-safe checkpointing; see
+/// [`train_node_classification_checkpointed`] for the resume semantics. The
+/// per-epoch negative samples are not snapshotted: they are a pure function
+/// of the RNG state, which is.
+pub fn train_link_prediction_checkpointed(
+    pipe: &dyn ForwardPipe,
+    split: &LinkSplit,
+    cfg: &TrainConfig,
+    seed: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> LpOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let data = &split.train_data;
     let all_pos: Vec<(u32, u32)> = data.graph.edges_of_type(split.edge_type).to_vec();
@@ -172,13 +289,40 @@ pub fn train_link_prediction(
 
     let params = pipe.params();
     let mut opt = Adam::new(params.clone(), AdamConfig::with(cfg.lr, cfg.weight_decay));
-    let start = Instant::now();
     let mut best_val = f64::NEG_INFINITY;
     let mut best_snap = snapshot(&params);
     let mut bad_epochs = 0;
-    let mut epochs_run = 0;
-    for _ in 0..cfg.epochs {
-        epochs_run += 1;
+
+    let meta = RunMeta {
+        kind: "train-lp".into(),
+        graph_fp: data.graph.structural_fingerprint(),
+        config_fp: cfg.fingerprint(),
+        seed,
+    };
+    let mut start_epoch = 0usize;
+    let mut elapsed_prior = 0.0f64;
+    if let Some(pol) = policy {
+        if let Some(state) = resume_train_state(pol, &meta, params.len()) {
+            restore(&params, &state.params);
+            opt.import_state(state.opt);
+            best_val = state.best_val;
+            best_snap = state.best_snap;
+            bad_epochs = state.bad_epochs as usize;
+            rng = StdRng::from_state(state.rng);
+            start_epoch = state.epochs_done as usize;
+            elapsed_prior = state.elapsed_seconds;
+        }
+    }
+
+    let start = Instant::now();
+    let mut epochs_run = start_epoch;
+    for epoch in start_epoch..cfg.epochs {
+        // Same top-of-loop patience check as the classification trainer, so
+        // the stopping epoch itself is checkpointable.
+        if bad_epochs > 0 && bad_epochs >= cfg.patience {
+            break;
+        }
+        epochs_run = epoch + 1;
         let negs = autoac_data::sample_train_negatives(
             data,
             split.edge_type,
@@ -199,13 +343,30 @@ pub fn train_link_prediction(
             bad_epochs = 0;
         } else {
             bad_epochs += 1;
-            if bad_epochs >= cfg.patience {
-                break;
+        }
+
+        if let Some(pol) = policy {
+            if pol.should_checkpoint(epoch + 1) {
+                let state = TrainState {
+                    meta: meta.clone(),
+                    epochs_done: (epoch + 1) as u64,
+                    elapsed_seconds: elapsed_prior + start.elapsed().as_secs_f64(),
+                    rng: rng.state(),
+                    params: snapshot(&params),
+                    opt: opt.export_state(),
+                    best_val,
+                    best_snap: best_snap.clone(),
+                    bad_epochs: bad_epochs as u64,
+                };
+                if let Err(e) = pol.save(epoch + 1, &state.to_snapshot()) {
+                    eprintln!("autoac-ckpt: failed to write training snapshot: {e}");
+                }
             }
+            pol.throttle();
         }
     }
     restore(&params, &best_snap);
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = elapsed_prior + start.elapsed().as_secs_f64();
     let (auc, m) = eval_link_prediction(pipe, &split.test_pos, &split.test_neg, &mut rng);
     LpOutcome { roc_auc: auc, mrr: m, seconds, epochs_run }
 }

@@ -30,5 +30,5 @@ pub mod sparse;
 
 pub use autograd::{grad_enabled, no_grad, Tensor};
 pub use matrix::{dot, softmax_in_place, Matrix};
-pub use optim::{Adam, AdamConfig, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, Sgd};
 pub use sparse::{spmm, Csr};

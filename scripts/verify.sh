@@ -2,7 +2,10 @@
 # Builds the workspace and runs the full test suite twice: once pinned to
 # the exact serial kernel path (AUTOAC_NUM_THREADS=1) and once at the
 # hardware thread count. Kernels are bitwise-deterministic across thread
-# counts, so both runs must pass identically.
+# counts, so both runs must pass identically. Finishes with a literal
+# kill-and-resume smoke test of the checkpoint subsystem: a run SIGKILLed
+# mid-search, resumed from its snapshots, must produce a byte-identical
+# result digest to an uninterrupted run.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -19,4 +22,34 @@ AUTOAC_NUM_THREADS=1 cargo test -q
 echo "== cargo test -q (AUTOAC_NUM_THREADS=${MAX_THREADS}, parallel kernels) =="
 AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
 
-echo "verify.sh: all suites passed under both thread settings"
+echo "== kill -9 and resume smoke test (ckpt_smoke) =="
+SMOKE="./target/release/ckpt_smoke"
+SMOKE_ARGS=(--scale tiny --search-epochs 10 --epochs 8)
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Uninterrupted baseline digest (no checkpointing involved).
+"$SMOKE" "${SMOKE_ARGS[@]}" --out "$WORK/baseline.json"
+
+# Same run, checkpointing every 2 epochs and paced so the kill reliably
+# lands mid-run; SIGKILL it, then resume from the snapshots at full speed.
+# Resume is correct for ANY kill timing (before the first snapshot it just
+# starts over), so no synchronization with the victim is needed.
+"$SMOKE" "${SMOKE_ARGS[@]}" --checkpoint-dir "$WORK/ckpts" --checkpoint-every 2 \
+  --epoch-sleep-ms 300 --out "$WORK/killed.json" &
+VICTIM=$!
+sleep 1.5
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+if [ -f "$WORK/killed.json" ]; then
+  echo "verify.sh: warning: victim finished before the kill; resume path reduces to a replay"
+fi
+SNAPSHOTS="$(find "$WORK/ckpts" -name 'ckpt-*.bin' 2>/dev/null | wc -l)"
+echo "   killed mid-run with ${SNAPSHOTS} snapshot(s) on disk"
+
+"$SMOKE" "${SMOKE_ARGS[@]}" --checkpoint-dir "$WORK/ckpts" --resume --out "$WORK/resumed.json"
+diff "$WORK/baseline.json" "$WORK/resumed.json" \
+  || { echo "verify.sh: FAIL — resumed run diverged from uninterrupted baseline"; exit 1; }
+echo "   resumed run is byte-identical to the uninterrupted baseline"
+
+echo "verify.sh: all suites passed under both thread settings; kill-and-resume smoke OK"
