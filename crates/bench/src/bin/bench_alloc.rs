@@ -1,0 +1,114 @@
+//! Allocation benchmark for the buffer-recycling pool: runs the same seeded
+//! SimpleHGN node-classification training twice in one process — once with
+//! the pool disabled (the `AUTOAC_POOL=0` baseline) and once with it enabled
+//! — asserts the final metrics are bitwise identical, and writes epoch-time
+//! and pool-statistics results to `results/BENCH_alloc.json`.
+//!
+//! Each phase is preceded by a short warm-up run so neither measurement pays
+//! first-touch costs the other does not (CPU caches for the baseline, free
+//! lists for the pooled run). Pool statistics are reset after the pooled
+//! warm-up, so the reported hit rate is the steady-state rate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use autoac_bench::{gnn_cfg, Args};
+use autoac_core::{
+    train_node_classification, Backbone, ClsOutcome, CompletionMode, Pipeline,
+};
+use autoac_tensor::pool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DATASET: &str = "DBLP";
+const SEED: u64 = 0;
+const WARMUP_EPOCHS: usize = 3;
+
+/// One full seeded training run: fresh pipeline, fixed seed, `epochs` cap.
+fn run(args: &Args, epochs: usize) -> ClsOutcome {
+    let data = args.dataset(DATASET, SEED);
+    let cfg = gnn_cfg(&data, Backbone::SimpleHgn, false);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let pipe = Pipeline::new(&data, Backbone::SimpleHgn, &cfg, CompletionMode::Zero, &mut rng);
+    let mut tc = args.train_cfg();
+    tc.epochs = epochs;
+    train_node_classification(&pipe, &data, &tc, SEED)
+}
+
+fn main() {
+    let mut out_path = PathBuf::from("results/BENCH_alloc.json");
+    let args = Args::parse_extra(|flag, value| match flag {
+        "--out" => {
+            out_path = PathBuf::from(value);
+            true
+        }
+        _ => false,
+    });
+
+    println!(
+        "bench_alloc: {DATASET} / SimpleHGN, scale {:?}, {} epochs, seed {SEED}",
+        args.scale, args.epochs
+    );
+
+    // Phase 1: pool disabled (baseline). Warm up, then measure.
+    let (off, on, stats) = pool::with_pool(false, || {
+        run(&args, WARMUP_EPOCHS);
+        let off = run(&args, args.epochs);
+
+        // Phase 2: pool enabled. The warm-up populates the free lists; the
+        // stats reset afterwards makes the reported hit rate steady-state.
+        pool::with_pool(true, || {
+            run(&args, WARMUP_EPOCHS);
+            pool::reset_stats();
+            let on = run(&args, args.epochs);
+            (off, on, pool::stats())
+        })
+    });
+
+    assert_eq!(
+        (off.macro_f1.to_bits(), off.micro_f1.to_bits(), off.epochs_run),
+        (on.macro_f1.to_bits(), on.micro_f1.to_bits(), on.epochs_run),
+        "pool-on and pool-off runs must produce bitwise-identical metrics"
+    );
+
+    let epoch_ms_off = 1e3 * off.seconds / off.epochs_run as f64;
+    let epoch_ms_on = 1e3 * on.seconds / on.epochs_run as f64;
+    let speedup_pct = 100.0 * (epoch_ms_off - epoch_ms_on) / epoch_ms_off;
+
+    println!("  pool off: {:.1} ms/epoch over {} epochs", epoch_ms_off, off.epochs_run);
+    println!("  pool on : {:.1} ms/epoch over {} epochs", epoch_ms_on, on.epochs_run);
+    println!("  speedup : {speedup_pct:.1}%");
+    println!(
+        "  pool    : hit rate {:.1}% ({} hits / {} misses), {:.1} MiB recycled",
+        100.0 * stats.hit_rate(),
+        stats.hits,
+        stats.misses,
+        stats.bytes_recycled as f64 / (1024.0 * 1024.0)
+    );
+    println!("  metrics : macro-F1 {:.4}, micro-F1 {:.4} (bitwise identical)", on.macro_f1, on.micro_f1);
+
+    let json = format!(
+        "{{\n  \"dataset\": \"{DATASET}\",\n  \"scale\": \"{:?}\",\n  \"epochs\": {},\n  \
+         \"epoch_ms_pool_off\": {epoch_ms_off:.3},\n  \"epoch_ms_pool_on\": {epoch_ms_on:.3},\n  \
+         \"speedup_pct\": {speedup_pct:.2},\n  \"pool_hit_rate\": {:.4},\n  \
+         \"hits\": {},\n  \"misses\": {},\n  \"bytes_recycled\": {},\n  \
+         \"macro_f1\": {:.6},\n  \"micro_f1\": {:.6},\n  \"bitwise_identical\": true\n}}\n",
+        args.scale,
+        on.epochs_run,
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses,
+        stats.bytes_recycled,
+        on.macro_f1,
+        on.micro_f1,
+    );
+    if let Some(dir) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    fs::write(&out_path, json).expect("write bench report");
+    println!("  wrote   : {}", display(&out_path));
+}
+
+fn display(p: &Path) -> String {
+    p.to_string_lossy().into_owned()
+}

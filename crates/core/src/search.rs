@@ -375,8 +375,10 @@ pub fn search_checkpointed(
             }
             loss.backward();
             if ac.discrete {
-                if let Some(g) = grad_target.grad() {
-                    alpha.accum_grad_public(&g);
+                // `grad_target` is a throwaway proxy leaf: move its gradient
+                // across instead of cloning it.
+                if let Some(g) = grad_target.take_grad() {
+                    alpha.accum_grad_public_owned(g);
                 }
             }
             alpha_opt.step();

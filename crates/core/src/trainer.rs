@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use autoac_ckpt::{CheckpointPolicy, Fingerprint, RunMeta, TrainState};
 use autoac_data::{Dataset, LinkSplit};
-use autoac_eval::{argmax_predictions, f1_scores, mrr, roc_auc};
+use autoac_eval::{f1_scores, mrr, roc_auc};
 use autoac_tensor::{Adam, AdamConfig, Matrix, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -242,12 +242,11 @@ pub fn eval_classification(
     autoac_tensor::no_grad(|| {
         let fwd = pipe.forward(false, rng);
         let out = fwd.output.value();
-        let (_, c) = out.shape();
-        let rows: Vec<f32> = nodes
-            .iter()
-            .flat_map(|&v| out.row(v as usize).to_vec())
-            .collect();
-        let pred = argmax_predictions(&rows, nodes.len(), c);
+        // Per-row argmax directly on the logits — same tie-breaking as
+        // `argmax_predictions` (first maximum wins) without building a flat
+        // copy of the selected rows.
+        let pred: Vec<u32> =
+            nodes.iter().map(|&v| out.argmax_row(v as usize) as u32).collect();
         let truth: Vec<u32> = nodes.iter().map(|&v| data.label_of(v)).collect();
         f1_scores(&pred, &truth, data.num_classes)
     })

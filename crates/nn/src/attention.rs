@@ -11,7 +11,7 @@
 //! out_j = Σ_i α_ij z_i  (+ residual W_r x_j)
 //! ```
 
-use autoac_tensor::Tensor;
+use autoac_tensor::{Act, Tensor};
 use rand::rngs::StdRng;
 
 use crate::edges::EdgeIndex;
@@ -199,7 +199,7 @@ impl SemanticAttention {
         // Per-view scalar score: mean over nodes of tanh(x W + b) · q.
         let scores: Vec<Tensor> = views
             .iter()
-            .map(|v| self.w.forward(v).tanh().matmul(&self.q).mean())
+            .map(|v| self.w.forward_act(v, Act::Tanh).matmul(&self.q).mean())
             .collect();
         let refs: Vec<&Tensor> = scores.iter().collect();
         let weights = Tensor::concat_cols(&refs).softmax_rows(); // (1, V)

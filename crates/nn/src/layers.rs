@@ -1,6 +1,6 @@
 //! Basic trainable layers.
 
-use autoac_tensor::{init, Matrix, Tensor};
+use autoac_tensor::{init, Act, Matrix, Tensor};
 use rand::Rng;
 
 /// Fully connected layer `y = x W + b`.
@@ -20,13 +20,15 @@ impl Linear {
         }
     }
 
-    /// Applies the layer.
+    /// Applies the layer (fused matmul + bias, one autograd node).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let y = x.matmul(&self.w);
-        match &self.b {
-            Some(b) => y.add_row_vec(b),
-            None => y,
-        }
+        x.linear(&self.w, self.b.as_ref(), Act::Identity)
+    }
+
+    /// Applies the layer followed by an activation, fused into a single
+    /// autograd node (bitwise-equivalent to `forward` + the standalone op).
+    pub fn forward_act(&self, x: &Tensor, act: Act) -> Tensor {
+        x.linear(&self.w, self.b.as_ref(), act)
     }
 
     /// Trainable parameters.

@@ -15,6 +15,7 @@ pub mod lp;
 pub mod metapaths;
 pub mod models;
 
+pub use autoac_tensor::Act;
 pub use edges::EdgeIndex;
 pub use encoder::FeatureEncoder;
 pub use models::{Forward, Gnn, GnnConfig};

@@ -10,7 +10,7 @@
 //! baseline that attribute completion outperforms.
 
 use autoac_graph::HeteroGraph;
-use autoac_tensor::Tensor;
+use autoac_tensor::{Act, Tensor};
 use rand::rngs::StdRng;
 
 use crate::layers::Linear;
@@ -76,7 +76,7 @@ impl Gnn for GatneLite {
             let agg = base
                 .gather_rows(&pairs.neighbor)
                 .segment_mean(&pairs.owner, self.num_nodes);
-            h = h.add(&lin.forward(&agg).tanh());
+            h = h.add(&lin.forward_act(&agg, Act::Tanh));
         }
         let output = self.out.forward(&h);
         Forward { hidden: h, output }

@@ -4,7 +4,7 @@
 //! DESIGN.md §1), and attention-based combination across types.
 
 use autoac_graph::{Adjacency, HeteroGraph};
-use autoac_tensor::Tensor;
+use autoac_tensor::{Act, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -88,7 +88,7 @@ impl Gnn for HetGnnLite {
     }
 
     fn forward(&self, x0: &Tensor, training: bool, rng: &mut StdRng) -> Forward {
-        let h = self.proj.forward(&x0.dropout(self.dropout, training, rng)).elu();
+        let h = self.proj.forward_act(&x0.dropout(self.dropout, training, rng), Act::Elu);
         // Per-type aggregates (zero rows where no neighbors were sampled).
         let mut aggregates = vec![h.clone()]; // slot 0: the node itself
         for tn in &self.samples {

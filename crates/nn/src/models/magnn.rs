@@ -11,7 +11,7 @@
 //! node.
 
 use autoac_graph::{metapath, Adjacency, HeteroGraph, NodeTypeId};
-use autoac_tensor::{Matrix, Tensor};
+use autoac_tensor::{Act, Matrix, Tensor};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -113,7 +113,7 @@ impl Gnn for Magnn {
     }
 
     fn forward(&self, x0: &Tensor, training: bool, rng: &mut StdRng) -> Forward {
-        let h = self.proj.forward(&x0.dropout(self.dropout, training, rng)).elu();
+        let h = self.proj.forward_act(&x0.dropout(self.dropout, training, rng), Act::Elu);
         let mut views = Vec::with_capacity(self.instance_sets.len());
         for (set, a) in self.instance_sets.iter().zip(&self.att) {
             // Mean-pool node features along each instance.
@@ -188,7 +188,7 @@ mod tests {
         let model = Magnn::new(&g, 0, &cfg, 8, &mut rng);
         let x = Tensor::constant(autoac_tensor::init::random_normal(8, 4, 1.0, &mut rng));
         let f = model.forward(&x, false, &mut rng);
-        let proj = model.proj.forward(&x).elu().to_matrix();
+        let proj = model.proj.forward_act(&x, Act::Elu).to_matrix();
         let hid = f.hidden.to_matrix();
         // Actor/director rows (4..8) equal the plain projection.
         for r in 4..8 {

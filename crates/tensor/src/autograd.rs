@@ -217,6 +217,25 @@ impl Tensor {
         self.node.grad.borrow().clone()
     }
 
+    /// Borrow of the accumulated gradient, if any (no copy — optimizers
+    /// read gradients through this instead of cloning every step).
+    pub fn grad_ref(&self) -> Option<Ref<'_, Matrix>> {
+        Ref::filter_map(self.node.grad.borrow(), Option::as_ref).ok()
+    }
+
+    /// Moves the accumulated gradient out, leaving the slot empty. The
+    /// caller takes ownership of the (pooled) buffer instead of copying it.
+    pub fn take_grad(&self) -> Option<Matrix> {
+        self.node.grad.borrow_mut().take()
+    }
+
+    /// Applies `f` to the accumulated gradient in place, if any.
+    pub fn with_grad_mut(&self, f: impl FnOnce(&mut Matrix)) {
+        if let Some(g) = self.node.grad.borrow_mut().as_mut() {
+            f(g);
+        }
+    }
+
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
         *self.node.grad.borrow_mut() = None;
@@ -231,6 +250,21 @@ impl Tensor {
         match slot.as_mut() {
             Some(existing) => existing.add_assign(g),
             None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Accumulates an **owned** gradient contribution: moves the buffer into
+    /// an empty slot instead of cloning it, and scatters in place otherwise.
+    /// Backward closures produce owned temporaries, so this recycles every
+    /// per-op gradient allocation on the first-contribution path.
+    pub(crate) fn accum_grad_owned(&self, g: Matrix) {
+        if !self.node.requires_grad {
+            return;
+        }
+        let mut slot = self.node.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => existing.add_assign(&g),
+            None => *slot = Some(g),
         }
     }
 
@@ -261,17 +295,17 @@ impl Tensor {
             return;
         }
         let order = self.topo_order();
-        self.accum_grad(&seed);
+        self.accum_grad_owned(seed);
         for t in order.iter().rev() {
-            let grad = t.node.grad.borrow().clone();
-            if let (Some(g), Some(f)) = (grad, t.node.backward.as_ref()) {
-                f(&g);
-            }
+            let Some(f) = t.node.backward.as_ref() else {
+                continue; // leaf: retains its accumulated gradient
+            };
             // Intermediate (non-leaf) gradients are no longer needed once
-            // their backward closure has fired; dropping them bounds peak
-            // memory on long chains.
-            if t.node.backward.is_some() {
-                *t.node.grad.borrow_mut() = None;
+            // their backward closure has fired; taking (not cloning) them
+            // bounds peak memory on long chains and returns the buffer to
+            // the pool as soon as the closure finishes.
+            if let Some(g) = t.node.grad.borrow_mut().take() {
+                f(&g);
             }
         }
     }

@@ -5,15 +5,27 @@
 //! completion parameters) is naturally a matrix, and vectors are represented
 //! as `(n, 1)` or `(1, n)` matrices. Keeping a single concrete layout keeps
 //! the kernels simple and cache-friendly.
+//!
+//! Storage lives in a [`crate::pool::PoolVec`]: buffers come from (and
+//! return to) a size-bucketed thread-local free list, so the per-iteration
+//! graph rebuild recycles memory instead of hitting the allocator. Kernels
+//! that fully overwrite their output use [`Matrix::scratch`] — recycled
+//! memory with stale contents — which is only sound because every element is
+//! written before the matrix escapes; kernels that accumulate start from
+//! [`Matrix::zeros`]. Elementwise kernels run through
+//! [`crate::parallel::for_each_row_chunk`] with the same work threshold and
+//! bitwise-identical chunking guarantees as `matmul`.
 
 use std::fmt;
+
+use crate::pool::PoolVec;
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: PoolVec,
 }
 
 impl fmt::Debug for Matrix {
@@ -27,14 +39,35 @@ impl fmt::Debug for Matrix {
 }
 
 impl Matrix {
+    /// Creates a matrix with **unspecified contents** (recycled memory).
+    ///
+    /// Internal building block for kernels that overwrite every element
+    /// before the matrix is visible anywhere else; that full overwrite is
+    /// what keeps results bitwise identical with the pool on or off.
+    #[inline]
+    pub(crate) fn scratch(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: PoolVec::scratch(rows * cols) }
+    }
+
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: PoolVec::zeroed(rows * cols) }
+    }
+
+    /// A matrix for accumulating kernels: either already zeroed (second
+    /// element `true`) or unspecified, in which case the kernel must clear
+    /// every output row before accumulating into it. See
+    /// [`PoolVec::accum_scratch`] for why recycled buffers defer the clear
+    /// to the kernel.
+    #[inline]
+    pub(crate) fn accum_scratch(rows: usize, cols: usize) -> (Self, bool) {
+        let (data, zeroed) = PoolVec::accum_scratch(rows * cols);
+        (Self { rows, cols, data }, zeroed)
     }
 
     /// Creates a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self { rows, cols, data: PoolVec::filled(rows * cols, value) }
     }
 
     /// Creates a matrix filled with ones.
@@ -64,7 +97,7 @@ impl Matrix {
             rows,
             cols
         );
-        Self { rows, cols, data }
+        Self { rows, cols, data: PoolVec::from_vec(data) }
     }
 
     /// Builds a matrix from nested row slices (test helper).
@@ -76,7 +109,7 @@ impl Matrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self { rows: r, cols: c, data: PoolVec::from_vec(data) }
     }
 
     /// Number of rows.
@@ -121,9 +154,10 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix, returning the underlying buffer.
+    /// Consumes the matrix, returning the underlying buffer (which escapes
+    /// the pool).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Element accessor.
@@ -161,6 +195,12 @@ impl Matrix {
 
     // ---------------------------------------------------------------------
     // Elementwise arithmetic
+    //
+    // The whole family funnels through two scratch-backed helpers that split
+    // the output across worker threads exactly like `matmul` does: same
+    // `MIN_PARALLEL_WORK` threshold, same row-aligned chunking, each element
+    // computed by the identical scalar expression — so results are bitwise
+    // equal for any thread count and for pool on/off.
     // ---------------------------------------------------------------------
 
     fn assert_same_shape(&self, other: &Matrix, op: &str) {
@@ -173,81 +213,113 @@ impl Matrix {
         );
     }
 
+    /// Shared kernel for the binary elementwise family (shape-checked).
+    fn elementwise_binary(&self, other: &Matrix, op: &str, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        self.assert_same_shape(other, op);
+        let mut out = Matrix::scratch(self.rows, self.cols);
+        let width = self.cols.max(1);
+        let (a, b): (&[f32], &[f32]) = (&self.data, &other.data);
+        crate::parallel::for_each_row_chunk(&mut out.data, width, a.len(), |first, chunk| {
+            let off = first * width;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(a[off + i], b[off + i]);
+            }
+        });
+        out
+    }
+
+    /// Shared kernel for the unary elementwise family.
+    fn elementwise_unary(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::scratch(self.rows, self.cols);
+        let width = self.cols.max(1);
+        let a: &[f32] = &self.data;
+        crate::parallel::for_each_row_chunk(&mut out.data, width, a.len(), |first, chunk| {
+            let off = first * width;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(a[off + i]);
+            }
+        });
+        out
+    }
+
+    /// Shared kernel for in-place binary updates (shape-checked).
+    fn zip_apply_impl(&mut self, other: &Matrix, op: &str, f: impl Fn(f32, f32) -> f32 + Sync) {
+        self.assert_same_shape(other, op);
+        let width = self.cols.max(1);
+        let b: &[f32] = &other.data;
+        let work = b.len();
+        crate::parallel::for_each_row_chunk(&mut self.data, width, work, |first, chunk| {
+            let off = first * width;
+            for (i, a) in chunk.iter_mut().enumerate() {
+                *a = f(*a, b[off + i]);
+            }
+        });
+    }
+
     /// Elementwise sum.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "add");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
-    }
-
-    /// In-place elementwise accumulation: `self += other`.
-    pub fn add_assign(&mut self, other: &Matrix) {
-        self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
-    }
-
-    /// In-place scaled accumulation: `self += scale * other` (axpy).
-    pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
-        self.assert_same_shape(other, "add_scaled_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
-        }
+        self.elementwise_binary(other, "add", |a, b| a + b)
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "sub");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        self.elementwise_binary(other, "sub", |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "mul");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        self.elementwise_binary(other, "mul", |a, b| a * b)
     }
 
     /// Elementwise division.
     pub fn div(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "div");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a / b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        self.elementwise_binary(other, "div", |a, b| a / b)
+    }
+
+    /// Elementwise combine of two same-shape matrices.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        self.elementwise_binary(other, "zip_map", f)
     }
 
     /// Scalar multiple.
     pub fn scale(&self, s: f32) -> Matrix {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        self.elementwise_unary(|a| a * s)
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        self.elementwise_unary(f)
+    }
+
+    /// In-place elementwise accumulation: `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.zip_apply_impl(other, "add_assign", |a, b| a + b);
+    }
+
+    /// In-place scaled accumulation: `self += scale * other` (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
+        self.zip_apply_impl(other, "add_scaled_assign", |a, b| a + scale * b);
+    }
+
+    /// In-place elementwise combine: `self[i] = f(self[i], other[i])`.
+    pub fn zip_apply(&mut self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) {
+        self.zip_apply_impl(other, "zip_apply", f);
     }
 
     /// In-place scalar multiple.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
-    }
-
-    /// Applies `f` to every element, producing a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        self.map_assign(|a| a * s);
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
-        for a in &mut self.data {
-            *a = f(*a);
-        }
-    }
-
-    /// Elementwise combine of two same-shape matrices.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        self.assert_same_shape(other, "zip_map");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let width = self.cols.max(1);
+        let work = self.data.len();
+        crate::parallel::for_each_row_chunk(&mut self.data, width, work, |_, chunk| {
+            for a in chunk.iter_mut() {
+                *a = f(*a);
+            }
+        });
     }
 
     // ---------------------------------------------------------------------
@@ -270,10 +342,13 @@ impl Matrix {
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
+        let (mut out, zeroed) = Matrix::accum_scratch(m, n);
         let work = m.saturating_mul(k).saturating_mul(n);
         crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
             for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+                if !zeroed {
+                    out_row.fill(0.0);
+                }
                 let row = first_row + i;
                 let a_row = &self.data[row * k..(row + 1) * k];
                 for (p, &a) in a_row.iter().enumerate() {
@@ -291,6 +366,11 @@ impl Matrix {
     }
 
     /// `selfᵀ * other` without materializing the transpose.
+    ///
+    /// Hot in backward passes (`dW = Xᵀ·dY`). Parallel over output rows;
+    /// every output element accumulates its `p`-terms in ascending order —
+    /// the same order as the serial kernel — so results stay bitwise equal
+    /// at any thread count.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
@@ -299,24 +379,33 @@ impl Matrix {
             other.shape()
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let (mut out, zeroed) = Matrix::accum_scratch(m, n);
+        let work = k.saturating_mul(m).saturating_mul(n);
+        crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
+            for (i_off, out_row) in chunk.chunks_mut(n).enumerate() {
+                if !zeroed {
+                    out_row.fill(0.0);
                 }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                let i = first_row + i_off;
+                for p in 0..k {
+                    let a = self.data[p * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self * otherᵀ` without materializing the transpose.
+    ///
+    /// Hot in backward passes (`dX = dY·Wᵀ`). Output rows are independent
+    /// dot products, split across worker threads.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -325,21 +414,24 @@ impl Matrix {
             other.shape()
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
+        let mut out = Matrix::scratch(m, n);
+        let work = m.saturating_mul(k).saturating_mul(n);
+        crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
+            for (i_off, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = first_row + i_off;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    *o = dot(a_row, b_row);
+                }
             }
-        }
+        });
         out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::scratch(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
@@ -368,7 +460,7 @@ impl Matrix {
 
     /// Row sums as an `(rows, 1)` matrix.
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, 1);
+        let mut out = Matrix::scratch(self.rows, 1);
         for r in 0..self.rows {
             out.data[r] = self.row(r).iter().sum();
         }
@@ -421,7 +513,7 @@ impl Matrix {
 
     /// Gathers rows by index: `out[i] = self[idx[i]]`.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let mut out = Matrix::scratch(idx.len(), self.cols);
         for (i, &src) in idx.iter().enumerate() {
             let src = src as usize;
             debug_assert!(src < self.rows, "gather_rows: index {src} out of bounds");
@@ -450,7 +542,7 @@ impl Matrix {
     /// Copies selected rows into a new matrix (clone of `gather_rows` for
     /// `usize` indices, used by dataset splits).
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let mut out = Matrix::scratch(idx.len(), self.cols);
         for (i, &src) in idx.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(src));
         }
@@ -465,7 +557,7 @@ impl Matrix {
         for p in parts {
             assert_eq!(p.rows, rows, "concat_cols: row count mismatch");
         }
-        let mut out = Matrix::zeros(rows, cols);
+        let mut out = Matrix::scratch(rows, cols);
         for r in 0..rows {
             let mut off = 0;
             let out_row = &mut out.data[r * cols..(r + 1) * cols];
@@ -485,17 +577,19 @@ impl Matrix {
         for p in parts {
             assert_eq!(p.cols, cols, "concat_rows: column count mismatch");
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut out = Matrix::scratch(rows, cols);
+        let mut off = 0;
         for p in parts {
-            data.extend_from_slice(&p.data);
+            out.data[off..off + p.data.len()].copy_from_slice(&p.data);
+            off += p.data.len();
         }
-        Matrix { rows, cols, data }
+        out
     }
 
     /// Extracts the column block `[start, start+len)`.
     pub fn slice_cols(&self, start: usize, len: usize) -> Matrix {
         assert!(start + len <= self.cols, "slice_cols: out of bounds");
-        let mut out = Matrix::zeros(self.rows, len);
+        let mut out = Matrix::scratch(self.rows, len);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
         }
@@ -504,15 +598,25 @@ impl Matrix {
 
     /// Adds a `(1, cols)` row vector to every row.
     pub fn add_row_vec(&self, v: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_vec_assign(v);
+        out
+    }
+
+    /// In-place broadcast add of a `(1, cols)` row vector to every row.
+    pub fn add_row_vec_assign(&mut self, v: &Matrix) {
         assert_eq!(v.rows, 1, "add_row_vec: expected a row vector");
         assert_eq!(v.cols, self.cols, "add_row_vec: width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&v.data) {
-                *o += b;
+        let width = self.cols.max(1);
+        let b: &[f32] = &v.data;
+        let work = self.data.len();
+        crate::parallel::for_each_row_chunk(&mut self.data, width, work, |_, chunk| {
+            for row in chunk.chunks_mut(width) {
+                for (o, &bv) in row.iter_mut().zip(b) {
+                    *o += bv;
+                }
             }
-        }
-        out
+        });
     }
 
     /// Multiplies each row by the matching entry of a `(rows, 1)` column
@@ -520,20 +624,25 @@ impl Matrix {
     pub fn mul_col_vec(&self, v: &Matrix) -> Matrix {
         assert_eq!(v.cols, 1, "mul_col_vec: expected a column vector");
         assert_eq!(v.rows, self.rows, "mul_col_vec: height mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let s = v.data[r];
-            for o in out.row_mut(r) {
-                *o *= s;
+        let mut out = Matrix::scratch(self.rows, self.cols);
+        let width = self.cols.max(1);
+        let (a, s): (&[f32], &[f32]) = (&self.data, &v.data);
+        crate::parallel::for_each_row_chunk(&mut out.data, width, a.len(), |first, chunk| {
+            for (i, row) in chunk.chunks_mut(width).enumerate() {
+                let r = first + i;
+                let sv = s[r];
+                for (o, &av) in row.iter_mut().zip(&a[r * width..(r + 1) * width]) {
+                    *o = av * sv;
+                }
             }
-        }
+        });
         out
     }
 
     /// Per-row dot product of two same-shape matrices, as `(rows, 1)`.
     pub fn rowwise_dot(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "rowwise_dot");
-        let mut out = Matrix::zeros(self.rows, 1);
+        let mut out = Matrix::scratch(self.rows, 1);
         for r in 0..self.rows {
             out.data[r] = dot(self.row(r), other.row(r));
         }
@@ -544,26 +653,52 @@ impl Matrix {
     // Row-softmax family (numerically stabilized)
     // ---------------------------------------------------------------------
 
-    /// Row-wise softmax.
+    /// Row-wise softmax: one fused max/exp-sum/normalize sweep per row, one
+    /// output allocation, rows split across worker threads. Each row runs
+    /// the same scalar sequence as [`softmax_in_place`], so large logits
+    /// (±1e4) stay finite and results are bitwise equal at any thread count.
     pub fn softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            softmax_in_place(out.row_mut(r));
-        }
+        let mut out = Matrix::scratch(self.rows, self.cols);
+        let width = self.cols.max(1);
+        let a: &[f32] = &self.data;
+        crate::parallel::for_each_row_chunk(&mut out.data, width, a.len(), |first, chunk| {
+            for (i, out_row) in chunk.chunks_mut(width).enumerate() {
+                let r = first + i;
+                let src = &a[r * width..(r + 1) * width];
+                let mx = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for (o, &v) in out_row.iter_mut().zip(src) {
+                    *o = (v - mx).exp();
+                    sum += *o;
+                }
+                if sum > 0.0 {
+                    for o in out_row.iter_mut() {
+                        *o /= sum;
+                    }
+                }
+            }
+        });
         out
     }
 
-    /// Row-wise log-softmax.
+    /// Row-wise log-softmax (same fused single-allocation layout as
+    /// [`Matrix::softmax_rows`], with the log-sum-exp shifted by the row
+    /// max).
     pub fn log_softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx;
-            for v in row {
-                *v -= lse;
+        let mut out = Matrix::scratch(self.rows, self.cols);
+        let width = self.cols.max(1);
+        let a: &[f32] = &self.data;
+        crate::parallel::for_each_row_chunk(&mut out.data, width, a.len(), |first, chunk| {
+            for (i, out_row) in chunk.chunks_mut(width).enumerate() {
+                let r = first + i;
+                let src = &a[r * width..(r + 1) * width];
+                let mx = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = src.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx;
+                for (o, &v) in out_row.iter_mut().zip(src) {
+                    *o = v - lse;
+                }
             }
-        }
+        });
         out
     }
 
@@ -665,6 +800,28 @@ mod tests {
         assert_eq!(b.sub(&a), Matrix::from_rows(&[&[4.0, 4.0], &[4.0, 4.0]]));
         assert_eq!(a.mul(&b), Matrix::from_rows(&[&[5.0, 12.0], &[21.0, 32.0]]));
         assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
+        assert_eq!(
+            b.div(&a),
+            Matrix::from_rows(&[&[5.0, 3.0], &[7.0 / 3.0, 2.0]])
+        );
+    }
+
+    #[test]
+    fn in_place_family_matches_out_of_place() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, a.add(&b));
+        let mut c = a.clone();
+        c.add_scaled_assign(&b, 0.5);
+        assert_eq!(c, a.add(&b.scale(0.5)));
+        let mut c = a.clone();
+        c.zip_apply(&b, |x, y| x * y);
+        assert_eq!(c, a.mul(&b));
+        let mut c = a.clone();
+        c.add_row_vec_assign(&Matrix::from_rows(&[&[10.0, 20.0]]));
+        assert_eq!(c, a.add_row_vec(&Matrix::from_rows(&[&[10.0, 20.0]])));
     }
 
     #[test]
@@ -744,6 +901,19 @@ mod tests {
     }
 
     #[test]
+    fn softmax_matches_softmax_in_place_bitwise() {
+        let m = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[-3.0, 0.0, 7.5]]);
+        let fused = m.softmax_rows();
+        let mut reference = m.clone();
+        for r in 0..reference.rows() {
+            softmax_in_place(reference.row_mut(r));
+        }
+        for (a, b) in fused.data().iter().zip(reference.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn log_softmax_matches_log_of_softmax() {
         let m = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
         let a = m.log_softmax_rows();
@@ -771,5 +941,51 @@ mod tests {
     fn transpose_involution() {
         let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = a.clone();
+        assert_ne!(a.data().as_ptr(), b.data().as_ptr());
+        b.set(0, 0, 9.0);
+        assert_eq!(a.get(0, 0), 1.0);
+    }
+
+    // Every member of the elementwise family must reject shape mismatches
+    // the same way — an unconditional panic naming the op — so a silent
+    // broadcast bug can never slip in through one of them. (Same-element-
+    // count mismatches like 2×3 vs 3×2 are the treacherous case: the flat
+    // data lengths agree, only the shape check catches them.)
+    macro_rules! shape_mismatch_panics {
+        ($($name:ident: |$a:ident, $b:ident| $call:expr;)*) => {$(
+            #[test]
+            #[should_panic(expected = "shape mismatch")]
+            fn $name() {
+                #[allow(unused_mut)]
+                let mut $a = Matrix::zeros(2, 3);
+                let $b = Matrix::zeros(3, 2);
+                let _ = $call;
+            }
+        )*};
+    }
+
+    shape_mismatch_panics! {
+        add_rejects_shape_mismatch: |a, b| a.add(&b);
+        sub_rejects_shape_mismatch: |a, b| a.sub(&b);
+        mul_rejects_shape_mismatch: |a, b| a.mul(&b);
+        div_rejects_shape_mismatch: |a, b| a.div(&b);
+        zip_map_rejects_shape_mismatch: |a, b| a.zip_map(&b, |x, y| x + y);
+        add_assign_rejects_shape_mismatch: |a, b| a.add_assign(&b);
+        add_scaled_assign_rejects_shape_mismatch: |a, b| a.add_scaled_assign(&b, 0.5);
+        zip_apply_rejects_shape_mismatch: |a, b| a.zip_apply(&b, |x, y| x + y);
+        rowwise_dot_rejects_shape_mismatch: |a, b| a.rowwise_dot(&b);
+    }
+
+    #[test]
+    fn div_matches_elementwise_division() {
+        let a = Matrix::from_rows(&[&[6.0, 9.0], &[-4.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 3.0], &[2.0, 4.0]]);
+        assert_eq!(a.div(&b), Matrix::from_rows(&[&[2.0, 3.0], &[-2.0, 0.25]]));
     }
 }

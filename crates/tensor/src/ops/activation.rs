@@ -15,7 +15,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.zip_map(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+                a.accum_grad_owned(g.zip_map(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
             }),
         )
     }
@@ -29,7 +29,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.zip_map(&x, |gv, xv| if xv > 0.0 { gv } else { slope * gv }));
+                a.accum_grad_owned(g.zip_map(&x, |gv, xv| if xv > 0.0 { gv } else { slope * gv }));
             }),
         )
     }
@@ -51,7 +51,7 @@ impl Tensor {
                         *d *= yv + 1.0;
                     }
                 }
-                a.accum_grad(&dg);
+                a.accum_grad_owned(dg);
             }),
         )
     }
@@ -65,7 +65,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.zip_map(&y, |gv, yv| gv * yv * (1.0 - yv)));
+                a.accum_grad_owned(g.zip_map(&y, |gv, yv| gv * yv * (1.0 - yv)));
             }),
         )
     }
@@ -79,7 +79,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.zip_map(&y, |gv, yv| gv * (1.0 - yv * yv)));
+                a.accum_grad_owned(g.zip_map(&y, |gv, yv| gv * (1.0 - yv * yv)));
             }),
         )
     }
@@ -92,7 +92,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g| a.accum_grad(&g.mul(&y))),
+            Box::new(move |g| a.accum_grad_owned(g.mul(&y))),
         )
     }
 
@@ -104,7 +104,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g| a.accum_grad(&g.zip_map(&x, |gv, xv| gv / xv))),
+            Box::new(move |g| a.accum_grad_owned(g.zip_map(&x, |gv, xv| gv / xv))),
         )
     }
 
@@ -117,7 +117,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.zip_map(&y, |gv, yv| gv * 0.5 / yv.max(1e-12)));
+                a.accum_grad_owned(g.zip_map(&y, |gv, yv| gv * 0.5 / yv.max(1e-12)));
             }),
         )
     }
@@ -130,7 +130,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g| a.accum_grad(&g.zip_map(&x, |gv, xv| gv * 2.0 * xv))),
+            Box::new(move |g| a.accum_grad_owned(g.zip_map(&x, |gv, xv| gv * 2.0 * xv))),
         )
     }
 
@@ -153,7 +153,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g| a.accum_grad(&g.mul(&mask))),
+            Box::new(move |g| a.accum_grad_owned(g.mul(&mask))),
         )
     }
 
@@ -175,7 +175,7 @@ impl Tensor {
                         *d = yv * (*d - inner);
                     }
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }
@@ -197,7 +197,7 @@ impl Tensor {
                         *d -= sv * gsum;
                     }
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }

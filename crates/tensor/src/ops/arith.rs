@@ -1,4 +1,9 @@
 //! Differentiable arithmetic and linear-algebra ops.
+//!
+//! Backward closures hand their gradient temporaries to
+//! `accum_grad_owned`: the buffer is moved into the parent's empty gradient
+//! slot (no clone) or scattered in place, so every per-op gradient
+//! allocation recycles through the pool.
 
 use crate::autograd::Tensor;
 use crate::matrix::Matrix;
@@ -27,7 +32,7 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
                 a.accum_grad(g);
-                b.accum_grad(&g.scale(-1.0));
+                b.accum_grad_owned(g.scale(-1.0));
             }),
         )
     }
@@ -41,8 +46,8 @@ impl Tensor {
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.mul(&bv));
-                b.accum_grad(&g.mul(&av));
+                a.accum_grad_owned(g.mul(&bv));
+                b.accum_grad_owned(g.mul(&av));
             }),
         )
     }
@@ -54,7 +59,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g| a.accum_grad(&g.scale(s))),
+            Box::new(move |g| a.accum_grad_owned(g.scale(s))),
         )
     }
 
@@ -81,9 +86,9 @@ impl Tensor {
             value,
             vec![self.clone(), s.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.scale(sv));
+                a.accum_grad_owned(g.scale(sv));
                 let ds = g.mul(&av).sum();
-                b.accum_grad(&Matrix::from_vec(1, 1, vec![ds]));
+                b.accum_grad_owned(Matrix::from_vec(1, 1, vec![ds]));
             }),
         )
     }
@@ -98,8 +103,8 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
                 // dA = g · Bᵀ ; dB = Aᵀ · g
-                a.accum_grad(&g.matmul_nt(&bv));
-                b.accum_grad(&av.matmul_tn(g));
+                a.accum_grad_owned(g.matmul_nt(&bv));
+                b.accum_grad_owned(av.matmul_tn(g));
             }),
         )
     }
@@ -111,7 +116,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g| a.accum_grad(&g.transpose())),
+            Box::new(move |g| a.accum_grad_owned(g.transpose())),
         )
     }
 
@@ -124,7 +129,7 @@ impl Tensor {
             vec![self.clone(), bias.clone()],
             Box::new(move |g| {
                 a.accum_grad(g);
-                b.accum_grad(&g.sum_cols());
+                b.accum_grad_owned(g.sum_cols());
             }),
         )
     }
@@ -139,8 +144,8 @@ impl Tensor {
             value,
             vec![self.clone(), col.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.mul_col_vec(&bv));
-                b.accum_grad(&g.rowwise_dot(&av));
+                a.accum_grad_owned(g.mul_col_vec(&bv));
+                b.accum_grad_owned(g.rowwise_dot(&av));
             }),
         )
     }
@@ -154,8 +159,8 @@ impl Tensor {
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
-                a.accum_grad(&bv.mul_col_vec(g));
-                b.accum_grad(&av.mul_col_vec(g));
+                a.accum_grad_owned(bv.mul_col_vec(g));
+                b.accum_grad_owned(av.mul_col_vec(g));
             }),
         )
     }
@@ -174,7 +179,7 @@ impl Tensor {
             Box::new(move |g| {
                 let mut off = 0;
                 for (p, &w) in captured.iter().zip(&widths) {
-                    p.accum_grad(&g.slice_cols(off, w));
+                    p.accum_grad_owned(g.slice_cols(off, w));
                     off += w;
                 }
             }),
@@ -198,7 +203,7 @@ impl Tensor {
                     let cols = g.cols();
                     let block =
                         Matrix::from_vec(h, cols, g.data()[off * cols..(off + h) * cols].to_vec());
-                    p.accum_grad(&block);
+                    p.accum_grad_owned(block);
                     off += h;
                 }
             }),
@@ -218,7 +223,7 @@ impl Tensor {
                 for r in 0..rows {
                     padded.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
                 }
-                a.accum_grad(&padded);
+                a.accum_grad_owned(padded);
             }),
         )
     }

@@ -19,7 +19,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.scatter_add_rows(&idx, rows));
+                a.accum_grad_owned(g.scatter_add_rows(&idx, rows));
             }),
         )
     }
@@ -34,7 +34,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&g.gather_rows(&idx));
+                a.accum_grad_owned(g.gather_rows(&idx));
             }),
         )
     }
@@ -69,7 +69,7 @@ impl Tensor {
             let gid = gid as usize;
             gmax[gid] = gmax[gid].max(x.data()[i]);
         }
-        let mut out = Matrix::zeros(rows, 1);
+        let mut out = Matrix::scratch(rows, 1); // every entry written below
         let mut gsum = vec![0.0f32; num_groups];
         for (i, &gid) in group.iter().enumerate() {
             let gid = gid as usize;
@@ -95,11 +95,11 @@ impl Tensor {
                 for (i, &gid) in group.iter().enumerate() {
                     inner[gid as usize] += y.data()[i] * g.data()[i];
                 }
-                let mut dx = Matrix::zeros(y.rows(), 1);
+                let mut dx = Matrix::scratch(y.rows(), 1); // every entry written
                 for (i, &gid) in group.iter().enumerate() {
                     dx.data_mut()[i] = y.data()[i] * (g.data()[i] - inner[gid as usize]);
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }

@@ -39,7 +39,7 @@ impl Tensor {
                     let r = r as usize;
                     dx.set(r, targets[r] as usize, -scale);
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }
@@ -70,12 +70,12 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g| {
                 let scale = g.data()[0] * inv;
-                let mut dx = Matrix::zeros(z.rows(), 1);
+                let mut dx = Matrix::scratch(z.rows(), 1); // every entry written
                 for ((d, zi), &y) in dx.data_mut().iter_mut().zip(z.data()).zip(labels.iter()) {
                     let sig = 1.0 / (1.0 + (-zi).exp());
                     *d = scale * (sig - y);
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }
@@ -114,7 +114,7 @@ impl Tensor {
                         *d = scale * (sig - y);
                     }
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }

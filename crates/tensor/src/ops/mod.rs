@@ -2,6 +2,9 @@
 
 mod activation;
 mod arith;
+mod fused;
 mod index;
 mod loss;
 mod reduce;
+
+pub use fused::Act;

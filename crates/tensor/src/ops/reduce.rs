@@ -13,7 +13,7 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                a.accum_grad(&Matrix::full(rows, cols, g.data()[0]));
+                a.accum_grad_owned(Matrix::full(rows, cols, g.data()[0]));
             }),
         )
     }
@@ -34,14 +34,14 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                let mut dx = Matrix::zeros(rows, cols);
+                let mut dx = Matrix::scratch(rows, cols); // every entry written
                 for r in 0..rows {
                     let gv = g.get(r, 0);
                     for d in dx.row_mut(r) {
                         *d = gv;
                     }
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }
@@ -55,11 +55,11 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g| {
-                let mut dx = Matrix::zeros(rows, cols);
+                let mut dx = Matrix::scratch(rows, cols); // every entry written
                 for r in 0..rows {
                     dx.row_mut(r).copy_from_slice(g.row(0));
                 }
-                a.accum_grad(&dx);
+                a.accum_grad_owned(dx);
             }),
         )
     }

@@ -127,7 +127,8 @@ impl Adam {
         let bc1 = 1.0 - c.beta1.powi(self.t as i32);
         let bc2 = 1.0 - c.beta2.powi(self.t as i32);
         for (i, p) in self.params.iter().enumerate() {
-            let Some(grad) = p.grad() else { continue };
+            // Borrow (not clone) the gradient: the update only reads it.
+            let Some(grad) = p.grad_ref() else { continue };
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             p.update_value(|value| {
@@ -155,7 +156,7 @@ impl Adam {
     pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
         let mut total = 0.0f32;
         for p in &self.params {
-            if let Some(g) = p.grad() {
+            if let Some(g) = p.grad_ref() {
                 total += g.frob_sq();
             }
         }
@@ -163,13 +164,7 @@ impl Adam {
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for p in &self.params {
-                if p.grad().is_some() {
-                    // Scale in place via accumulate of (scale-1)·g.
-                    let g = p.grad().expect("checked above");
-                    p.zero_grad();
-                    let scaled = g.scale(scale);
-                    p.accum_grad_public(&scaled);
-                }
+                p.with_grad_mut(|g| g.scale_assign(scale));
             }
         }
         norm
@@ -202,7 +197,7 @@ impl Sgd {
     /// Applies one SGD step.
     pub fn step(&self) {
         for p in &self.params {
-            let Some(grad) = p.grad() else { continue };
+            let Some(grad) = p.grad_ref() else { continue };
             let lr = self.lr;
             let wd = self.weight_decay;
             p.update_value(|value| {
@@ -219,6 +214,12 @@ impl Tensor {
     /// steps need to write gradients directly).
     pub fn accum_grad_public(&self, g: &Matrix) {
         self.accum_grad(g);
+    }
+
+    /// Owned variant of [`Tensor::accum_grad_public`]: moves the buffer into
+    /// an empty gradient slot instead of cloning it.
+    pub fn accum_grad_public_owned(&self, g: Matrix) {
+        self.accum_grad_owned(g);
     }
 }
 

@@ -1,0 +1,440 @@
+//! Size-bucketed, thread-local buffer recycling for [`Matrix`] storage.
+//!
+//! The define-by-run autograd graph is rebuilt every iteration, so every
+//! forward/backward pass used to pay one heap allocation per op — and the
+//! allocator's page-zeroing on fresh pages dominated the elementwise hot
+//! path once the matmul kernels were parallelized. This module recycles
+//! those buffers instead:
+//!
+//! - Allocation requests round **up** to a power-of-two bucket
+//!   (≥ [`MIN_BUCKET`] elements) and are served from a per-thread free list
+//!   for that bucket when possible.
+//! - Dropping a [`PoolVec`] returns the buffer to its bucket's free list
+//!   (bounded per bucket; overflow buffers are freed normally).
+//! - Results are **bitwise identical** with the pool on or off: a recycled
+//!   buffer is either explicitly zero/value-filled or handed out as scratch
+//!   that every kernel fully overwrites before reading.
+//!
+//! Control surface:
+//!
+//! - `AUTOAC_POOL=0` (also `false` / `off`) disables recycling process-wide
+//!   and restores plain exact-size allocation — the escape hatch for memory
+//!   debugging and for A/B benchmarks across processes.
+//! - [`with_pool`] scopes an override on the current thread (used by parity
+//!   tests and the in-process allocation benchmark).
+//! - [`stats`] / [`reset_stats`] expose hit/miss/bytes-recycled counters
+//!   (relaxed atomics — negligible cost next to an allocation).
+//!
+//! In debug builds, buffers are poisoned with a NaN pattern when they enter
+//! the free list, so any aliasing bug (a buffer handed to two live
+//! matrices, or a read of recycled memory that was never overwritten)
+//! surfaces as loud NaNs instead of silent corruption.
+//!
+//! The free lists are thread-local on purpose: the autograd tape is
+//! single-threaded, kernels only parallelize *inside* an op (worker threads
+//! never allocate matrices), and a thread-local `RefCell` costs no atomics
+//! on the alloc/free fast path.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Smallest bucket, in `f32` elements. Requests below this still get a
+/// `MIN_BUCKET`-element buffer (256 bytes — small enough not to matter,
+/// large enough to keep the bucket table compact).
+pub const MIN_BUCKET: usize = 64;
+
+const MIN_BUCKET_LOG2: u32 = MIN_BUCKET.trailing_zeros();
+
+/// Largest pooled bucket: 2^27 elements = 512 MiB. Larger requests fall
+/// through to plain allocation — they are rare, and holding them alive in a
+/// free list would pin too much memory.
+const MAX_BUCKET_LOG2: u32 = 27;
+
+/// At most this many free buffers are retained per bucket per thread;
+/// further returns are freed normally.
+const MAX_FREE_PER_BUCKET: usize = 128;
+
+/// Byte budget that shrinks the per-bucket retention cap for large buckets
+/// (a 64 MiB bucket keeps at most 16 buffers, not 128). Together with
+/// [`MAX_FREE_PER_BUCKET`] this bounds worst-case held memory per bucket.
+const MAX_FREE_BYTES_PER_BUCKET: usize = 1024 * 1024 * 1024;
+
+/// Retention cap for one bucket: count-limited for small buckets,
+/// byte-limited for large ones, but never below 16 — a GNN layer's
+/// forward+backward keeps a dozen-odd edge-sized buffers in flight, and
+/// missing on one of those costs precisely the mmap/fault churn the pool
+/// exists to avoid.
+fn free_cap(bucket: usize) -> usize {
+    (MAX_FREE_BYTES_PER_BUCKET / (bucket * std::mem::size_of::<f32>()))
+        .clamp(16, MAX_FREE_PER_BUCKET)
+}
+
+/// Debug-build poison written over buffers entering the free list: a quiet
+/// NaN with a recognizable payload. Any kernel that reads pooled memory it
+/// never wrote propagates NaNs and fails the numeric tests immediately.
+pub const POISON: f32 = f32::from_bits(0x7FC0_DEAD);
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYTES_RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pool's global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from a free list.
+    pub hits: u64,
+    /// Allocations that had to go to the system allocator (pool enabled but
+    /// the bucket's free list was empty).
+    pub misses: u64,
+    /// Total bytes returned to free lists over the process lifetime.
+    pub bytes_recycled: u64,
+}
+
+impl PoolStats {
+    /// Fraction of allocations served from the pool (0 when none recorded).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Reads the global counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bytes_recycled: BYTES_RECYCLED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the global counters (benchmark bookkeeping).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    BYTES_RECYCLED.store(0, Ordering::Relaxed);
+}
+
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("AUTOAC_POOL") {
+        Ok(raw) => !matches!(raw.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    })
+}
+
+thread_local! {
+    /// Scoped override installed by [`with_pool`]; `None` defers to the env.
+    static OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+
+    static FREE_LISTS: RefCell<Vec<Vec<Vec<f32>>>> = RefCell::new(Vec::new());
+}
+
+/// Whether buffer recycling is active on this thread right now.
+pub fn enabled() -> bool {
+    OVERRIDE.with(Cell::get).unwrap_or_else(env_enabled)
+}
+
+/// Runs `f` with recycling forced on/off on this thread, restoring the
+/// previous setting afterwards (also on panic). Matrices allocated in one
+/// mode may be dropped in the other; both directions are safe (a pooled
+/// buffer dropped with the pool off is simply freed, a plain buffer dropped
+/// with the pool on is not bucket-shaped and is freed too).
+pub fn with_pool<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(on))));
+    f()
+}
+
+/// Frees every buffer held by this thread's free lists (e.g. between
+/// benchmark phases, or after a memory-heavy stage).
+pub fn trim() {
+    FREE_LISTS.with(|p| p.borrow_mut().clear());
+}
+
+/// Bucket size (in elements) for a request of `len` elements.
+#[inline]
+fn bucket_for(len: usize) -> usize {
+    len.next_power_of_two().max(MIN_BUCKET)
+}
+
+#[inline]
+fn bucket_index(bucket: usize) -> Option<usize> {
+    let log2 = bucket.trailing_zeros();
+    (log2 <= MAX_BUCKET_LOG2).then(|| (log2 - MIN_BUCKET_LOG2) as usize)
+}
+
+/// Pops a recycled buffer for `bucket`, if any.
+fn pop_free(bucket: usize) -> Option<Vec<f32>> {
+    let idx = bucket_index(bucket)?;
+    FREE_LISTS.with(|p| p.borrow_mut().get_mut(idx)?.pop())
+}
+
+/// Pushes a fully-initialized buffer (len == capacity == bucket) onto its
+/// free list; drops it if the list is full or the bucket is out of range.
+fn push_free(buf: Vec<f32>) {
+    debug_assert_eq!(buf.len(), buf.capacity());
+    let Some(idx) = bucket_index(buf.capacity()) else { return };
+    let bytes = (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+    let kept = FREE_LISTS.with(|p| {
+        let mut lists = p.borrow_mut();
+        if lists.len() <= idx {
+            lists.resize_with(idx + 1, Vec::new);
+        }
+        if lists[idx].len() < free_cap(buf.capacity()) {
+            lists[idx].push(buf);
+            true
+        } else {
+            false
+        }
+    });
+    if kept {
+        BYTES_RECYCLED.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Heap buffer behind [`Matrix`]: a `Vec<f32>` that returns itself to the
+/// thread-local pool on drop when it is bucket-shaped.
+///
+/// Invariant for recyclable buffers: the entire capacity was initialized at
+/// least once (bucket allocations are created with `vec![0.0; bucket]`), so
+/// growing `len` back up to `capacity` with `set_len` is sound — the bytes
+/// are always valid `f32`s, merely stale.
+pub(crate) struct PoolVec {
+    vec: Vec<f32>,
+    /// Whether the full capacity is known-initialized and bucket-shaped.
+    recyclable: bool,
+}
+
+impl PoolVec {
+    /// A buffer of `len` elements with **unspecified contents** (stale data
+    /// from a previous matrix, or poison in debug builds). Every element is
+    /// a valid `f32`; callers must fully overwrite before exposing the
+    /// matrix, both for determinism and to keep pool-on/off bitwise equal.
+    pub(crate) fn scratch(len: usize) -> Self {
+        if len == 0 {
+            return Self { vec: Vec::new(), recyclable: false };
+        }
+        if !enabled() {
+            return Self { vec: vec![0.0; len], recyclable: false };
+        }
+        let bucket = bucket_for(len);
+        if let Some(mut v) = pop_free(bucket) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: recycled buffers are fully initialized up to capacity
+            // (see the type invariant) and `len <= bucket == capacity`.
+            unsafe { v.set_len(len) };
+            return Self { vec: v, recyclable: true };
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let mut v = vec![0.0f32; bucket]; // initialize the whole bucket once
+        v.truncate(len);
+        Self { vec: v, recyclable: bucket_index(bucket).is_some() }
+    }
+
+    /// A zero-filled buffer of `len` elements.
+    pub(crate) fn zeroed(len: usize) -> Self {
+        Self::filled(len, 0.0)
+    }
+
+    /// A `value`-filled buffer of `len` elements.
+    pub(crate) fn filled(len: usize, value: f32) -> Self {
+        if len != 0 && !enabled() {
+            // Bypass `scratch` so the disabled path pays exactly one
+            // allocation-time fill (for zeros, `vec!` lowers to the
+            // allocator's zeroed path), not a fill over a fresh buffer.
+            return Self { vec: vec![value; len], recyclable: false };
+        }
+        let mut out = Self::scratch(len);
+        out.vec.fill(value);
+        out
+    }
+
+    /// A buffer for *accumulating* kernels. Returns the buffer plus `true`
+    /// when its contents are already all-zero (fresh allocations come from
+    /// the allocator's zeroed path); `false` means the caller must clear
+    /// each output row before accumulating into it. Recycled buffers take
+    /// the second form so the clear merges into the kernel's first pass
+    /// over each row — where the lines are cache-warm — instead of a
+    /// separate sweep over the whole buffer.
+    pub(crate) fn accum_scratch(len: usize) -> (Self, bool) {
+        if len == 0 || !enabled() {
+            return (Self::zeroed(len), true);
+        }
+        let bucket = bucket_for(len);
+        if let Some(mut v) = pop_free(bucket) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: recycled buffers are fully initialized up to capacity
+            // (see the type invariant) and `len <= bucket == capacity`.
+            unsafe { v.set_len(len) };
+            return (Self { vec: v, recyclable: true }, false);
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let mut v = vec![0.0f32; bucket];
+        v.truncate(len);
+        (Self { vec: v, recyclable: bucket_index(bucket).is_some() }, true)
+    }
+
+    /// Adopts a caller-provided vector without copying. The buffer is
+    /// recyclable only if it happens to be exactly bucket-shaped and fully
+    /// initialized (`len == capacity`, a power of two ≥ [`MIN_BUCKET`]).
+    pub(crate) fn from_vec(vec: Vec<f32>) -> Self {
+        let cap = vec.capacity();
+        let recyclable = vec.len() == cap
+            && cap >= MIN_BUCKET
+            && cap.is_power_of_two()
+            && bucket_index(cap).is_some();
+        Self { vec, recyclable }
+    }
+
+    /// Extracts the underlying vector; the buffer escapes the pool.
+    pub(crate) fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.vec) // the drained self drops as a no-op
+    }
+}
+
+impl Drop for PoolVec {
+    fn drop(&mut self) {
+        if !self.recyclable || self.vec.capacity() == 0 || !enabled() {
+            return; // plain free
+        }
+        let mut v = std::mem::take(&mut self.vec);
+        // SAFETY: recyclable ⇒ the full capacity was initialized (type
+        // invariant), so restoring len == capacity is sound.
+        unsafe { v.set_len(v.capacity()) };
+        #[cfg(debug_assertions)]
+        v.fill(POISON);
+        push_free(v);
+    }
+}
+
+impl std::ops::Deref for PoolVec {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.vec
+    }
+}
+
+impl std::ops::DerefMut for PoolVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.vec
+    }
+}
+
+impl Clone for PoolVec {
+    fn clone(&self) -> Self {
+        let mut out = Self::scratch(self.vec.len());
+        out.vec.copy_from_slice(&self.vec);
+        out
+    }
+}
+
+impl PartialEq for PoolVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.vec == other.vec
+    }
+}
+
+impl std::fmt::Debug for PoolVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.vec.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_round_up_to_powers_of_two() {
+        assert_eq!(bucket_for(1), MIN_BUCKET);
+        assert_eq!(bucket_for(64), 64);
+        assert_eq!(bucket_for(65), 128);
+        assert_eq!(bucket_for(1000), 1024);
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused() {
+        with_pool(true, || {
+            trim();
+            let a = PoolVec::zeroed(100);
+            let ptr = a.as_ptr();
+            drop(a);
+            let b = PoolVec::zeroed(80); // same 128-bucket
+            assert_eq!(b.as_ptr(), ptr, "bucket must be recycled");
+            assert!(b.iter().all(|&v| v == 0.0), "zeroed must re-zero recycled memory");
+        });
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        with_pool(false, || {
+            trim();
+            let before = stats();
+            let a = PoolVec::zeroed(100);
+            drop(a);
+            let _b = PoolVec::zeroed(100);
+            let after = stats();
+            assert_eq!(before, after, "disabled pool must not touch counters");
+        });
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        with_pool(true, || {
+            trim();
+            let before = stats();
+            let a = PoolVec::scratch(256);
+            drop(a);
+            let b = PoolVec::scratch(256);
+            let after = stats();
+            assert_eq!(after.misses - before.misses, 1);
+            assert_eq!(after.hits - before.hits, 1);
+            assert!(after.bytes_recycled > before.bytes_recycled);
+            drop(b);
+        });
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn freed_buffers_are_poisoned() {
+        with_pool(true, || {
+            trim();
+            let a = PoolVec::filled(64, 1.5);
+            drop(a);
+            let b = PoolVec::scratch(64);
+            assert!(
+                b.iter().all(|v| v.to_bits() == POISON.to_bits()),
+                "scratch from the free list must carry the poison pattern"
+            );
+        });
+    }
+
+    #[test]
+    fn adopted_vec_roundtrips() {
+        let v: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let p = PoolVec::from_vec(v.clone());
+        assert_eq!(&*p, &v[..]);
+        assert_eq!(p.into_vec(), v);
+    }
+
+    #[test]
+    fn oversized_requests_fall_through() {
+        // One element past the largest bucket: plain allocation, no pooling.
+        let len = (1usize << MAX_BUCKET_LOG2) + 1;
+        let b = PoolVec { vec: Vec::with_capacity(0), recyclable: false };
+        drop(b);
+        assert!(bucket_index(bucket_for(len)).is_none());
+    }
+}

@@ -244,10 +244,13 @@ impl Csr {
             x.rows()
         );
         let cols = x.cols();
-        let mut out = Matrix::zeros(self.n_rows, cols);
+        let (mut out, zeroed) = Matrix::accum_scratch(self.n_rows, cols);
         let work = self.nnz().saturating_mul(cols);
         crate::parallel::for_each_row_chunk(out.data_mut(), cols, work, |first_row, chunk| {
             for (i, out_row) in chunk.chunks_mut(cols).enumerate() {
+                if !zeroed {
+                    out_row.fill(0.0);
+                }
                 let r = first_row + i;
                 for (self_c, v) in self.indices[self.indptr[r]..self.indptr[r + 1]]
                     .iter()
@@ -290,7 +293,7 @@ pub fn spmm(a: &Rc<Csr>, a_t: &Rc<Csr>, x: &Tensor) -> Tensor {
         value,
         vec![x.clone()],
         Box::new(move |g| {
-            xt.accum_grad(&a_t.matmul_dense(g));
+            xt.accum_grad_owned(a_t.matmul_dense(g));
         }),
     )
 }

@@ -1,0 +1,85 @@
+//! Regression tests for numerical stability of the softmax family under
+//! extreme logits (±1e4, where a naive `exp` overflows to infinity).
+//!
+//! The fused kernels subtract the per-row / per-group maximum before
+//! exponentiating, so outputs must stay finite, non-negative, and
+//! normalized — no NaN or Inf anywhere, including gradients.
+
+use autoac_tensor::{Matrix, Tensor};
+
+fn assert_finite(data: &[f32], what: &str) {
+    for (i, v) in data.iter().enumerate() {
+        assert!(v.is_finite(), "{what}: element {i} is {v}");
+    }
+}
+
+#[test]
+fn softmax_rows_survives_large_logits() {
+    let m = Matrix::from_rows(&[
+        &[1e4, -1e4, 0.0],
+        &[-1e4, -1e4, -1e4],
+        &[1e4, 1e4, 1e4],
+        &[3.0, -2.0, 0.5],
+    ]);
+    let s = m.softmax_rows();
+    assert_finite(s.data(), "softmax_rows");
+    for r in 0..s.rows() {
+        let sum: f32 = s.row(r).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        assert!(s.row(r).iter().all(|&v| v >= 0.0), "row {r} has negatives");
+    }
+    // The dominant logit takes essentially all the mass.
+    assert!((s.get(0, 0) - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn log_softmax_rows_survives_large_logits() {
+    let m = Matrix::from_rows(&[&[1e4, -1e4, 0.0], &[-1e4, 1e4, -1e4]]);
+    let ls = m.log_softmax_rows();
+    assert_finite(ls.data(), "log_softmax_rows");
+    // Log-probabilities are ≤ 0; the winner is ≈ 0.
+    assert!(ls.data().iter().all(|&v| v <= 0.0));
+    assert!(ls.get(0, 0).abs() < 1e-5);
+    assert!(ls.get(1, 1).abs() < 1e-5);
+}
+
+#[test]
+fn tensor_softmax_backward_finite_at_large_logits() {
+    let x = Tensor::param(Matrix::from_rows(&[&[1e4, -1e4, 0.0], &[2.0, -3.0, 1e4]]));
+    let y = x.softmax_rows();
+    assert_finite(&y.value().data().to_vec(), "softmax forward");
+    y.square().sum().backward();
+    let g = x.grad().expect("gradient");
+    assert_finite(g.data(), "softmax backward");
+}
+
+#[test]
+fn group_softmax_survives_large_logits() {
+    // Three groups; group 0 spans mixed ±1e4 scores, group 1 is all −1e4,
+    // group 2 is a single huge score.
+    let scores = Matrix::from_vec(6, 1, vec![1e4, -1e4, 0.0, -1e4, -1e4, 1e4]);
+    let group = [0u32, 0, 0, 1, 1, 2];
+    let x = Tensor::param(scores);
+    let att = x.group_softmax(&group, 3);
+    let a = att.to_matrix();
+    assert_finite(a.data(), "group_softmax");
+    let mut sums = [0.0f32; 3];
+    for (i, &gid) in group.iter().enumerate() {
+        assert!(a.data()[i] >= 0.0, "negative attention weight at {i}");
+        sums[gid as usize] += a.data()[i];
+    }
+    for (gid, s) in sums.iter().enumerate() {
+        assert!((s - 1.0).abs() < 1e-5, "group {gid} sums to {s}");
+    }
+    att.square().sum().backward();
+    assert_finite(x.grad().expect("gradient").data(), "group_softmax backward");
+}
+
+#[test]
+fn cross_entropy_survives_large_logits() {
+    let logits = Tensor::param(Matrix::from_rows(&[&[1e4, -1e4], &[-1e4, 1e4]]));
+    let loss = logits.cross_entropy_rows(&[0, 1], &[0, 1]);
+    assert!(loss.item().is_finite(), "loss is {}", loss.item());
+    loss.backward();
+    assert_finite(logits.grad().expect("gradient").data(), "cross-entropy backward");
+}

@@ -1,0 +1,206 @@
+//! Property and parity tests for the buffer-recycling pool
+//! (`autoac_tensor::pool`).
+//!
+//! Three independent guarantees are exercised here:
+//!
+//! 1. **No aliasing**: two live matrices never share a pooled buffer, no
+//!    matter how allocations and drops interleave (proptest over random
+//!    schedules).
+//! 2. **Reinitialization**: a recycled buffer handed back through
+//!    `zeros`/`full` carries no stale contents.
+//! 3. **Bitwise invisibility**: a training loop — fused linear layers,
+//!    gather/scatter, group softmax, Adam with gradient clipping — produces
+//!    bit-identical losses, weights, and gradients with the pool on or off,
+//!    at 1, 2, and 8 threads.
+
+use autoac_tensor::parallel::with_threads;
+use autoac_tensor::{init, pool, Act, Adam, AdamConfig, Matrix, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    /// Random alloc/drop schedules: surviving matrices keep their fill
+    /// value and occupy pairwise-distinct buffers. In debug builds the
+    /// poison fill on release-to-pool makes any aliasing loudly visible
+    /// (a kept matrix would read back NaN), on top of the pointer check.
+    #[test]
+    fn live_matrices_never_alias(
+        specs in proptest::collection::vec((1usize..24, 1usize..24, 0usize..2), 1..48)
+    ) {
+        pool::with_pool(true, || {
+            let mut live: Vec<(Matrix, f32)> = Vec::new();
+            for (i, &(r, c, keep)) in specs.iter().enumerate() {
+                let v = i as f32 + 0.5;
+                // Alternate construction paths so both the fill and the
+                // elementwise kernels hand out pooled buffers.
+                let m = if i % 2 == 0 {
+                    Matrix::full(r, c, v)
+                } else {
+                    Matrix::full(r, c, v - 1.0).map(|x| x + 1.0)
+                };
+                if keep == 1 {
+                    live.push((m, v));
+                } // else: dropped here, buffer returns to the pool
+            }
+            for (m, v) in &live {
+                prop_assert!(
+                    m.data().iter().all(|x| x == v),
+                    "a live matrix lost its contents (aliased buffer?)"
+                );
+            }
+            for i in 0..live.len() {
+                for j in i + 1..live.len() {
+                    prop_assert!(
+                        !std::ptr::eq(live[i].0.data().as_ptr(), live[j].0.data().as_ptr()),
+                        "two live matrices share one buffer"
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// Recycled buffers come back fully reinitialized through the value-filled
+/// constructors — no stale data leaks across alloc/free cycles.
+#[test]
+fn recycled_buffers_are_reinitialized() {
+    pool::with_pool(true, || {
+        for round in 0..4 {
+            let m = Matrix::full(13, 7, 42.0 + round as f32);
+            drop(m); // returns the (poisoned, in debug) buffer to the pool
+            let z = Matrix::zeros(13, 7);
+            assert!(z.data().iter().all(|&x| x == 0.0), "zeros leaked stale data");
+            let o = Matrix::full(13, 7, 1.0);
+            assert!(o.data().iter().all(|&x| x == 1.0), "full leaked stale data");
+        }
+    });
+}
+
+/// A small but representative training loop: two fused linear layers, a
+/// gather → attention → group-softmax → scatter block (the SimpleHGN
+/// message-passing shape), NLL loss, Adam with gradient clipping. Returns
+/// the bit patterns of every per-step loss, every final parameter, and the
+/// first step's input gradient.
+fn train_like(seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 24usize;
+    let x = Tensor::constant(init::random_uniform(n, 12, -1.0, 1.0, &mut rng));
+    let w1 = Tensor::param(init::xavier_uniform(12, 8, &mut rng));
+    let b1 = Tensor::param(Matrix::zeros(1, 8));
+    let w2 = Tensor::param(init::xavier_uniform(8, 4, &mut rng));
+    let a = Tensor::param(init::xavier_uniform(8, 1, &mut rng));
+
+    // A fixed ring of "edges" so gather/scatter/group_softmax all run.
+    let src: Vec<u32> = (0..n as u32).chain(0..n as u32).collect();
+    let dst: Vec<u32> = (0..n as u32).map(|i| (i + 1) % n as u32).chain(0..n as u32).collect();
+    let targets: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
+    let rows: Vec<u32> = (0..n as u32).collect();
+
+    let params = vec![w1.clone(), b1.clone(), w2.clone(), a.clone()];
+    let mut opt = Adam::new(params.clone(), AdamConfig::with(1e-2, 1e-4));
+    let mut bits = Vec::new();
+    for step in 0..5 {
+        opt.zero_grad();
+        let h = x.linear(&w1, Some(&b1), Act::Relu);
+        let zs = h.gather_rows(&src);
+        let att = zs.matmul(&a).leaky_relu(0.05).group_softmax(&dst, n);
+        let agg = zs.mul_col_vec(&att).scatter_add_rows(&dst, n);
+        let logits = agg.linear(&w2, None, Act::Identity);
+        let loss = logits.log_softmax_rows().nll_loss_rows(&targets, &rows);
+        loss.backward();
+        if step == 0 {
+            let g = w1.grad().expect("w1 gradient");
+            bits.extend(g.data().iter().map(|v| v.to_bits()));
+        }
+        opt.clip_grad_norm(1.0);
+        opt.step();
+        bits.push(loss.item().to_bits());
+    }
+    for p in &params {
+        bits.extend(p.value().data().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// The pool must be bitwise invisible: pool on vs off, at every thread
+/// count, the training trajectory (losses, gradients, final weights) is
+/// identical bit for bit.
+#[test]
+fn training_is_bitwise_identical_pool_on_off_across_threads() {
+    let reference = with_threads(1, || pool::with_pool(false, || train_like(7)));
+    for nt in [1usize, 2, 8] {
+        for on in [false, true] {
+            let got = with_threads(nt, || pool::with_pool(on, || train_like(7)));
+            assert_eq!(
+                reference, got,
+                "trajectory diverged at {nt} threads with pool {}",
+                if on { "on" } else { "off" }
+            );
+        }
+    }
+}
+
+/// Analytic gradients of a fused-linear stack agree with central finite
+/// differences *while the pool is recycling buffers* — the in-place
+/// backward accumulation never reads stale pooled memory.
+#[test]
+fn gradcheck_passes_with_pool_enabled() {
+    const EPS: f32 = 2e-3;
+    const TOL: f32 = 2e-2;
+    pool::with_pool(true, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::constant(init::xavier_uniform(5, 3, &mut rng));
+        let b = Tensor::constant(init::random_uniform(1, 3, -0.1, 0.1, &mut rng));
+        let forward = |p: &Tensor| p.linear(&w, Some(&b), Act::Tanh).square().sum();
+        let input = init::random_uniform(4, 5, -1.0, 1.0, &mut rng);
+
+        let p = Tensor::param(input.clone());
+        forward(&p).backward();
+        let analytic = p.grad().expect("gradient must exist");
+        for r in 0..4 {
+            for c in 0..5 {
+                let mut plus = input.clone();
+                plus.set(r, c, plus.get(r, c) + EPS);
+                let mut minus = input.clone();
+                minus.set(r, c, minus.get(r, c) - EPS);
+                let fp = forward(&Tensor::param(plus)).item();
+                let fm = forward(&Tensor::param(minus)).item();
+                let numeric = (fp - fm) / (2.0 * EPS);
+                let a = analytic.get(r, c);
+                let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+                assert!(
+                    (a - numeric).abs() / denom < TOL,
+                    "grad mismatch at ({r},{c}): analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    });
+}
+
+/// The same backward pass yields bit-identical gradients with the pool on
+/// and off (gradcheck parity at the bit level, not just tolerance).
+#[test]
+fn gradients_bitwise_identical_pool_on_vs_off() {
+    let grads = |on: bool| {
+        pool::with_pool(on, || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let w = Tensor::param(init::xavier_uniform(6, 4, &mut rng));
+            let b = Tensor::param(Matrix::zeros(1, 4));
+            let x = Tensor::param(init::random_uniform(8, 6, -1.0, 1.0, &mut rng));
+            let y = x.linear(&w, Some(&b), Act::Elu);
+            y.softmax_rows().square().sum().backward();
+            [&x, &w, &b]
+                .iter()
+                .map(|p| {
+                    p.grad()
+                        .expect("gradient")
+                        .data()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u32>>()
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(grads(false), grads(true));
+}

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Builds the workspace and runs the full test suite twice: once pinned to
-# the exact serial kernel path (AUTOAC_NUM_THREADS=1) and once at the
-# hardware thread count. Kernels are bitwise-deterministic across thread
-# counts, so both runs must pass identically. Finishes with a literal
-# kill-and-resume smoke test of the checkpoint subsystem: a run SIGKILLed
-# mid-search, resumed from its snapshots, must produce a byte-identical
-# result digest to an uninterrupted run.
+# Builds the workspace and runs the full test suite twice: once with the
+# buffer pool disabled and kernels pinned serial (AUTOAC_POOL=0,
+# AUTOAC_NUM_THREADS=1) and once with the pool enabled at the hardware
+# thread count. Kernels are bitwise-deterministic across thread counts and
+# the pool is bitwise-invisible, so both runs must pass identically. Then:
+#
+#  - a literal kill-and-resume smoke test of the checkpoint subsystem: a
+#    run SIGKILLed mid-search, resumed from its snapshots, must produce a
+#    byte-identical result digest to an uninterrupted run;
+#  - the allocation benchmark (bench_alloc), which trains the same seeded
+#    model with the pool off and on in one process, asserts bitwise-equal
+#    metrics, and writes epoch-time + hit-rate numbers to
+#    results/BENCH_alloc.json.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -16,10 +22,10 @@ MAX_THREADS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || ech
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q (AUTOAC_NUM_THREADS=1, serial kernels) =="
-AUTOAC_NUM_THREADS=1 cargo test -q
+echo "== cargo test -q (AUTOAC_POOL=0, AUTOAC_NUM_THREADS=1: no recycling, serial kernels) =="
+AUTOAC_POOL=0 AUTOAC_NUM_THREADS=1 cargo test -q
 
-echo "== cargo test -q (AUTOAC_NUM_THREADS=${MAX_THREADS}, parallel kernels) =="
+echo "== cargo test -q (pool enabled, AUTOAC_NUM_THREADS=${MAX_THREADS}, parallel kernels) =="
 AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
 
 echo "== kill -9 and resume smoke test (ckpt_smoke) =="
@@ -52,4 +58,11 @@ diff "$WORK/baseline.json" "$WORK/resumed.json" \
   || { echo "verify.sh: FAIL — resumed run diverged from uninterrupted baseline"; exit 1; }
 echo "   resumed run is byte-identical to the uninterrupted baseline"
 
-echo "verify.sh: all suites passed under both thread settings; kill-and-resume smoke OK"
+echo "== allocation benchmark (bench_alloc → results/BENCH_alloc.json) =="
+# Tiny scale keeps verify fast; the committed results/BENCH_alloc.json is
+# produced at --scale paper, where allocation dominates and the pool's
+# speedup is largest. The bitwise-identical-metrics assertion inside the
+# binary is the part verify depends on.
+./target/release/bench_alloc --scale tiny --epochs 10
+
+echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume and bench_alloc OK"
