@@ -1,0 +1,32 @@
+//! Seeded lint fixture — NOT compiled into any crate. This file mirrors the
+//! real repo layout (`crates/tensor/src/ops/`) so `lint_root` can be pointed
+//! at the `fixtures/` directory and must report exactly one violation per
+//! rule. The fixture tree has no `crates/tensor/tests/gradcheck.rs`, so the
+//! op below also trips coverage.
+
+use std::time::Instant;
+
+pub fn seeded_uncovered_op(rows: usize, cols: usize) -> Matrix {
+    // Violation 1 (raw-alloc-in-hotpath): pool-escaping constructor in ops/.
+    let m = Matrix::from_vec(rows, cols, vec![0.0; rows * cols]);
+    // Violation 2 (unwrap-in-lib): bare unwrap in library code.
+    let first = m.data().first().unwrap();
+    let mut acc = *first;
+    for _ in 0..rows {
+        // Violation 3 (instant-in-kernel-loop): timing inside the loop body.
+        let t = Instant::now();
+        acc += t.elapsed().as_secs_f32();
+    }
+    let _ = acc;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test module nothing is flagged, even patterns that would
+    // otherwise trip every rule.
+    fn unflagged() {
+        let m = Matrix::from_vec(1, 1, vec![0.0]);
+        let _ = m.data().first().unwrap();
+    }
+}

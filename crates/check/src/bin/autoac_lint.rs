@@ -1,0 +1,49 @@
+//! `autoac-lint` — runs the hand-rolled project lint over the repository.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p autoac-check --bin autoac-lint            # lint the repo
+//! cargo run -p autoac-check --bin autoac-lint -- --json  # JSON summary only
+//! cargo run -p autoac-check --bin autoac-lint -- --root path/to/tree
+//! ```
+//!
+//! Exits 1 when any finding survives, 0 on a clean tree, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("autoac-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("autoac-lint: unknown argument `{other}`");
+                eprintln!("usage: autoac-lint [--root <dir>] [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = autoac_check::lint::lint_root(&root);
+    if json {
+        println!("{}", report.json_summary());
+    } else {
+        println!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,35 @@
+//! `autoac-check` — the checking layer for the AutoAC stack.
+//!
+//! Four cooperating analyses share one diagnostics/report module
+//! ([`diag`]):
+//!
+//! 1. **Tape verifier** ([`tape`]) — walks the autograd graph *before*
+//!    `backward()` runs, validating per-op shape algebra, gradient
+//!    accumulation shapes, topological order, and (against a parameter
+//!    list) dead or frozen parameters.
+//! 2. **Pool provenance sanitizer** — lives in
+//!    `autoac_tensor::pool` (generation counters + canary words on pooled
+//!    buffers); this crate re-exports its capture API and exercises it in
+//!    integration tests.
+//! 3. **Parallel-region race checker** — lives in
+//!    `autoac_tensor::parallel::race` (declared row-range access sets per
+//!    scoped region); re-exported and exercised here.
+//! 4. **Source lint** ([`lint`]) — a hand-rolled scanner enforcing
+//!    project invariants over the crates' source text, driven by the
+//!    `autoac-lint` binary.
+//!
+//! All runtime analyses are gated on `AUTOAC_CHECK` (strictly parsed; see
+//! `autoac_tensor::chk`) and cost nothing when disabled.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lint;
+pub mod tape;
+
+pub use diag::{Analysis, Diagnostic, Report};
+
+// Runtime-sanitizer capture APIs, re-exported so downstream tests depend
+// only on autoac-check for the whole checking surface.
+pub use autoac_tensor::parallel::race::{capture_race_violations, RaceViolation};
+pub use autoac_tensor::pool::{capture_pool_violations, PoolViolation, PoolViolationKind};

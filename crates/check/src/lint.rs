@@ -1,0 +1,439 @@
+//! Hand-rolled source lint enforcing project invariants over the crates'
+//! source text (no rustc plumbing, no third-party parsers — a line-level
+//! scanner with just enough state to track strings, comments, `#[cfg(test)]`
+//! modules, and loop nesting).
+//!
+//! Rules:
+//!
+//! - **op-gradcheck-coverage** — every `pub fn` op in
+//!   `crates/tensor/src/ops/` must be exercised by name in
+//!   `crates/tensor/tests/gradcheck.rs`. New ops without a gradient test are
+//!   exactly how silent autograd bugs ship.
+//! - **raw-alloc-in-hotpath** — no `Matrix::from_vec` in hot-path modules
+//!   (`crates/tensor/src/ops/`, `optim.rs`, `autograd.rs`, `sparse.rs`).
+//!   `Matrix::zeros` is pool-backed in this codebase, so the constructor
+//!   that actually escapes the recycler is `from_vec` (an adopted `Vec` is
+//!   almost never bucket-shaped); hot paths must use
+//!   `Matrix::from_slice`/`full`/`zeros` instead.
+//! - **unwrap-in-lib** — no `.unwrap()` in library code outside tests
+//!   (binaries under `src/bin/` are application code and exempt). Library
+//!   failures must carry context via `expect` or propagate.
+//! - **instant-in-kernel-loop** — no `Instant::now` inside a loop in
+//!   `crates/tensor/src/`: timing calls inside kernel inner loops perturb
+//!   exactly the code being measured.
+//!
+//! A finding can be silenced with a `lint:allow(<rule>)` marker (in a
+//! comment) on the same or the preceding line; the allowlist is meant to be
+//! rare and always accompanied by a justification.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Analysis, Diagnostic, Report};
+
+/// Rule identifiers, shared between findings and `lint:allow(...)` markers.
+const RULE_UNWRAP: &str = "unwrap-in-lib";
+const RULE_RAW_ALLOC: &str = "raw-alloc-in-hotpath";
+const RULE_INSTANT: &str = "instant-in-kernel-loop";
+const RULE_GRADCHECK: &str = "op-gradcheck-coverage";
+
+/// Marker spellings accepted in `lint:allow(...)` (underscores allowed so
+/// the marker reads naturally in code comments).
+fn allow_marker_matches(line: &str, rule: &str) -> bool {
+    let Some(idx) = line.find("lint:allow(") else { return false };
+    let rest = &line[idx + "lint:allow(".len()..];
+    let Some(end) = rest.find(')') else { return false };
+    let named = rest[..end].trim().replace('_', "-");
+    named == rule
+        || match (named.as_str(), rule) {
+            ("unwrap", RULE_UNWRAP) => true,
+            ("raw-alloc", RULE_RAW_ALLOC) => true,
+            ("instant", RULE_INSTANT) => true,
+            ("gradcheck", RULE_GRADCHECK) => true,
+            _ => false,
+        }
+}
+
+/// Strips string/char literals and comments from one line, tracking
+/// multi-line block comments via `in_block_comment`. The goal is not full
+/// lexical fidelity — only that braces, keywords, and rule patterns inside
+/// literals or comments never reach the scanner.
+fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // Skip the string literal (escapes handled; raw strings in
+                // this codebase don't contain braces or rule patterns).
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            // Char literal like '}' or '\n' — skip it so the brace inside
+            // doesn't desync the depth counter. A lone lifetime tick ('a)
+            // has no closing quote within 3 bytes and falls through.
+            b'\'' if i + 2 < bytes.len()
+                && (bytes[i + 2] == b'\''
+                    || (bytes[i + 1] == b'\\' && i + 3 < bytes.len() && bytes[i + 3] == b'\'')) =>
+            {
+                i += if bytes[i + 1] == b'\\' { 4 } else { 3 };
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when `needle` occurs in `text` delimited by non-identifier chars.
+fn contains_word(text: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !text[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= text.len()
+            || !text[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+/// `pub fn name` at the start of a (stripped, trimmed) line, if any.
+/// `pub(crate) fn` is internal API and deliberately not matched.
+fn pub_fn_name(code: &str) -> Option<&str> {
+    let rest = code.trim_start().strip_prefix("pub fn ")?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Per-file scan state.
+struct Scanner<'a> {
+    path_display: String,
+    is_hotpath: bool,
+    is_kernel_crate: bool,
+    is_ops_file: bool,
+    gradcheck_text: &'a str,
+    /// Brace depth in stripped code.
+    depth: usize,
+    /// Depth *inside* an open `#[cfg(test)] mod`, when active.
+    test_region: Option<usize>,
+    pending_cfg_test: bool,
+    pending_test_mod: bool,
+    /// Depths at which loop bodies opened.
+    loop_depths: Vec<usize>,
+    pending_loop: bool,
+    in_block_comment: bool,
+    prev_raw: String,
+    report: Report,
+}
+
+impl Scanner<'_> {
+    fn allowed(&self, raw: &str, rule: &str) -> bool {
+        allow_marker_matches(raw, rule) || allow_marker_matches(&self.prev_raw, rule)
+    }
+
+    fn diag(&mut self, rule: &'static str, line_no: usize, message: String) {
+        self.report.push(Diagnostic {
+            analysis: Analysis::Lint,
+            rule,
+            message,
+            location: format!("{}:{}", self.path_display, line_no),
+        });
+    }
+
+    fn scan_line(&mut self, line_no: usize, raw: &str) {
+        let code = strip_line(raw, &mut self.in_block_comment);
+        let in_tests = self.test_region.is_some();
+
+        // Rule checks run against stripped code, outside test modules.
+        if !in_tests {
+            if code.contains(".unwrap()") && !self.allowed(raw, RULE_UNWRAP) {
+                self.diag(
+                    RULE_UNWRAP,
+                    line_no,
+                    "`.unwrap()` in library code; use `expect` with context or propagate".into(),
+                );
+            }
+            if self.is_hotpath
+                && code.contains("Matrix::from_vec(")
+                && !self.allowed(raw, RULE_RAW_ALLOC)
+            {
+                self.diag(
+                    RULE_RAW_ALLOC,
+                    line_no,
+                    "raw `Matrix::from_vec` allocation in a pooled hot path; \
+                     use `Matrix::from_slice`/`full`/`zeros` (pool-backed) instead"
+                        .into(),
+                );
+            }
+            if self.is_kernel_crate
+                && !self.loop_depths.is_empty()
+                && code.contains("Instant::now")
+                && !self.allowed(raw, RULE_INSTANT)
+            {
+                self.diag(
+                    RULE_INSTANT,
+                    line_no,
+                    "`Instant::now` inside a kernel loop perturbs the code being measured; \
+                     hoist timing out of the loop"
+                        .into(),
+                );
+            }
+            if self.is_ops_file {
+                if let Some(name) = pub_fn_name(&code) {
+                    if !contains_word(self.gradcheck_text, name)
+                        && !self.allowed(raw, RULE_GRADCHECK)
+                    {
+                        self.diag(
+                            RULE_GRADCHECK,
+                            line_no,
+                            format!(
+                                "op `{name}` has no gradcheck coverage \
+                                 (crates/tensor/tests/gradcheck.rs never mentions it)"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Structure tracking (comments/strings already stripped).
+        if raw.contains("#[cfg(test)]") {
+            self.pending_cfg_test = true;
+        }
+        let trimmed = code.trim_start();
+        if self.pending_cfg_test
+            && (trimmed.starts_with("mod ") || trimmed.starts_with("pub mod "))
+        {
+            self.pending_test_mod = true;
+            self.pending_cfg_test = false;
+        } else if self.pending_cfg_test && trimmed.starts_with("fn ") {
+            // `#[cfg(test)] fn helper` — not a module; drop the flag.
+            self.pending_cfg_test = false;
+        }
+        if contains_word(&code, "for") || contains_word(&code, "while") || contains_word(&code, "loop")
+        {
+            self.pending_loop = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    self.depth += 1;
+                    if self.pending_test_mod {
+                        self.test_region.get_or_insert(self.depth);
+                        self.pending_test_mod = false;
+                    }
+                    if self.pending_loop {
+                        self.loop_depths.push(self.depth);
+                        self.pending_loop = false;
+                    }
+                }
+                '}' => {
+                    if self.loop_depths.last() == Some(&self.depth) {
+                        self.loop_depths.pop();
+                    }
+                    if self.test_region == Some(self.depth) {
+                        self.test_region = None;
+                    }
+                    self.depth = self.depth.saturating_sub(1);
+                }
+                ';' => self.pending_loop = false, // `for` in a doc path etc.
+                _ => {}
+            }
+        }
+        self.prev_raw = raw.to_string();
+    }
+}
+
+/// True for modules where every per-iteration allocation must recycle.
+fn is_hotpath(rel: &str) -> bool {
+    rel.contains("crates/tensor/src/ops/")
+        || rel.ends_with("crates/tensor/src/optim.rs")
+        || rel.ends_with("crates/tensor/src/autograd.rs")
+        || rel.ends_with("crates/tensor/src/sparse.rs")
+}
+
+/// Scans one file's text and returns its findings. `rel` is the
+/// repo-relative path used for rule selection and locations.
+pub fn scan_source(rel: &str, text: &str, gradcheck_text: &str) -> Report {
+    let mut scanner = Scanner {
+        path_display: rel.to_string(),
+        is_hotpath: is_hotpath(rel),
+        is_kernel_crate: rel.contains("crates/tensor/src/"),
+        is_ops_file: rel.contains("crates/tensor/src/ops/") && !rel.ends_with("mod.rs"),
+        gradcheck_text,
+        depth: 0,
+        test_region: None,
+        pending_cfg_test: false,
+        pending_test_mod: false,
+        loop_depths: Vec::new(),
+        pending_loop: false,
+        in_block_comment: false,
+        prev_raw: String::new(),
+        report: Report::new(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        scanner.scan_line(i + 1, raw);
+    }
+    scanner.report.inspected = 1;
+    scanner.report
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `src/bin/`
+/// (application code) — the lint targets library sources.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort(); // deterministic finding order
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every library source under `root/crates/*/src/` against all rules.
+/// `root` is a repository layout root — the fixture tests point this at a
+/// directory mirroring the layout with seeded violations.
+pub fn lint_root(root: &Path) -> Report {
+    let mut report = Report::new();
+    let gradcheck_text = std::fs::read_to_string(root.join("crates/tensor/tests/gradcheck.rs"))
+        .unwrap_or_default();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        report.push(Diagnostic {
+            analysis: Analysis::Lint,
+            rule: "bad-root",
+            message: format!("{} has no crates/ directory", root.display()),
+            location: String::new(),
+        });
+        return report;
+    };
+    let mut crate_dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        for file in files {
+            let Ok(text) = std::fs::read_to_string(&file) else { continue };
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.merge(scan_source(&rel, &text, &gradcheck_text));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_literals() {
+        let mut blk = false;
+        assert_eq!(strip_line("let x = 1; // .unwrap()", &mut blk), "let x = 1; ");
+        assert_eq!(strip_line("let s = \"} .unwrap() {\";", &mut blk), "let s = ;");
+        assert_eq!(strip_line("let c = '}';", &mut blk), "let c = ;");
+        assert_eq!(strip_line("a /* x", &mut blk), "a ");
+        assert!(blk);
+        assert_eq!(strip_line("y */ b", &mut blk), " b");
+        assert!(!blk);
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged_but_tests_and_allows_are_not() {
+        let text = "\
+impl X {
+    fn f(&self) {
+        self.0.unwrap();
+    }
+    fn g(&self) {
+        self.0.unwrap(); // lint:allow(unwrap) — infallible by construction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        x.unwrap();
+    }
+}
+";
+        let report = scan_source("crates/x/src/lib.rs", text, "");
+        let findings: Vec<_> = report.diagnostics.iter().map(|d| &d.location).collect();
+        assert_eq!(findings.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(findings[0], "crates/x/src/lib.rs:3");
+    }
+
+    #[test]
+    fn raw_alloc_only_flagged_in_hotpath_modules() {
+        let text = "fn f() { let m = Matrix::from_vec(1, 1, vec![0.0]); }\n";
+        assert_eq!(scan_source("crates/tensor/src/ops/arith.rs", text, "").diagnostics.len(), 1);
+        assert_eq!(scan_source("crates/data/src/loader.rs", text, "").diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn instant_flagged_only_inside_loops_of_kernel_crate() {
+        let inside = "fn f() {\n    for i in 0..n {\n        let t = Instant::now();\n    }\n}\n";
+        let outside = "fn f() {\n    let t = Instant::now();\n    for i in 0..n {}\n}\n";
+        assert_eq!(scan_source("crates/tensor/src/matrix.rs", inside, "").diagnostics.len(), 1);
+        assert_eq!(scan_source("crates/tensor/src/matrix.rs", outside, "").diagnostics.len(), 0);
+        assert_eq!(scan_source("crates/core/src/trainer.rs", inside, "").diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn gradcheck_coverage_uses_word_boundaries() {
+        let ops = "impl T {\n    pub fn sum(&self) {}\n    pub fn sum_rows(&self) {}\n}\n";
+        // A call to `sum_rows` does NOT count as coverage for `sum`.
+        let report = scan_source("crates/tensor/src/ops/reduce.rs", ops, "let s = t.sum_rows();");
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert!(report.diagnostics[0].message.contains("`sum`"));
+    }
+}

@@ -186,7 +186,7 @@ impl Snapshot {
         if b.len() % 8 != 0 {
             return Err(malformed(name, "length not a multiple of 8"));
         }
-        Ok(b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("length checked by caller"))).collect())
     }
 
     /// Stores a `u32` slice.
@@ -204,7 +204,7 @@ impl Snapshot {
         if b.len() % 4 != 0 {
             return Err(malformed(name, "length not a multiple of 4"));
         }
-        Ok(b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("length checked by caller"))).collect())
     }
 
     /// Stores an `f32` slice as raw bit patterns (NaN payloads, `-0.0`, and
@@ -264,7 +264,7 @@ impl Snapshot {
         if b.len() < 8 {
             return Err(malformed(name, "missing matrix count"));
         }
-        let count = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
+        let count = u64::from_le_bytes(b[..8].try_into().expect("length checked by caller")) as usize;
         let mut rest = &b[8..];
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
@@ -303,20 +303,20 @@ impl Snapshot {
         if cur.take(8)? != MAGIC.as_slice() {
             return Err(CkptError::BadMagic);
         }
-        let version = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+        let version = u32::from_le_bytes(cur.take(4)?.try_into().expect("length checked by caller"));
         if version != VERSION {
             return Err(CkptError::BadVersion(version));
         }
-        let count = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+        let count = u32::from_le_bytes(cur.take(4)?.try_into().expect("length checked by caller"));
         let mut sections = BTreeMap::new();
         for _ in 0..count {
-            let name_len = u16::from_le_bytes(cur.take(2)?.try_into().unwrap()) as usize;
+            let name_len = u16::from_le_bytes(cur.take(2)?.try_into().expect("length checked by caller")) as usize;
             let name = std::str::from_utf8(cur.take(name_len)?)
                 .map_err(|_| malformed("<header>", "section name is not UTF-8"))?
                 .to_string();
-            let payload_len = u64::from_le_bytes(cur.take(8)?.try_into().unwrap()) as usize;
+            let payload_len = u64::from_le_bytes(cur.take(8)?.try_into().expect("length checked by caller")) as usize;
             let payload = cur.take(payload_len)?.to_vec();
-            let stored = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+            let stored = u32::from_le_bytes(cur.take(4)?.try_into().expect("length checked by caller"));
             if crc32(&payload) != stored {
                 return Err(CkptError::Crc { section: name });
             }
@@ -367,8 +367,8 @@ fn decode_matrix<'a>(b: &'a [u8], name: &str) -> Result<(Matrix, &'a [u8]), Ckpt
     if b.len() < 16 {
         return Err(malformed(name, "matrix header truncated"));
     }
-    let rows = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
-    let cols = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+    let rows = u64::from_le_bytes(b[..8].try_into().expect("length checked by caller")) as usize;
+    let cols = u64::from_le_bytes(b[8..16].try_into().expect("length checked by caller")) as usize;
     let n = rows
         .checked_mul(cols)
         .and_then(|n| n.checked_mul(4))
@@ -379,7 +379,7 @@ fn decode_matrix<'a>(b: &'a [u8], name: &str) -> Result<(Matrix, &'a [u8]), Ckpt
     }
     let data: Vec<f32> = rest[..n]
         .chunks_exact(4)
-        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("length checked by caller"))))
         .collect();
     Ok((Matrix::from_vec(rows, cols, data), &rest[n..]))
 }

@@ -280,6 +280,7 @@ mod tests {
         for _ in 0..200 {
             opt.zero_grad();
             let loss = ctx.loss(&logits.softmax_rows());
+            autoac_check::tape::verify_backward_if_enabled(&loss);
             loss.backward();
             opt.step();
         }

@@ -122,6 +122,7 @@ pub fn pretrain_hgca(
         let targets: Vec<u32> = (0..k as u32).collect();
         let rows: Vec<u32> = (0..k as u32).collect();
         let loss = logits.cross_entropy_rows(&targets, &rows);
+        autoac_check::tape::verify_backward_if_enabled(&loss);
         loss.backward();
         opt.step();
     }

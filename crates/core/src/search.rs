@@ -373,6 +373,7 @@ pub fn search_checkpointed(
                 best_val = val;
                 best_snapshot = Some((alpha.to_matrix(), cluster_of.clone()));
             }
+            autoac_check::tape::verify_backward_if_enabled(&loss);
             loss.backward();
             if ac.discrete {
                 // `grad_target` is a throwaway proxy leaf: move its gradient
@@ -410,6 +411,7 @@ pub fn search_checkpointed(
                 gmoc_trace.push(gmoc.item());
                 loss = loss.add(&gmoc.scale(ac.lambda));
             }
+            autoac_check::tape::verify_backward_if_enabled(&loss);
             loss.backward();
             omega_opt.clip_grad_norm(5.0);
             omega_opt.step();

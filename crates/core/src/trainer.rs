@@ -167,6 +167,7 @@ pub fn train_node_classification_checkpointed(
         opt.zero_grad();
         let fwd = pipe.forward(true, &mut rng);
         let loss = fwd.output.cross_entropy_rows(&labels, &data.split.train);
+        autoac_check::tape::verify_backward_if_enabled(&loss);
         loss.backward();
         opt.clip_grad_norm(5.0);
         opt.step();
@@ -331,6 +332,7 @@ pub fn train_link_prediction_checkpointed(
         opt.zero_grad();
         let fwd = pipe.forward(true, &mut rng);
         let loss = autoac_nn::lp::lp_loss(&fwd.output, train_pos, &negs);
+        autoac_check::tape::verify_backward_if_enabled(&loss);
         loss.backward();
         opt.clip_grad_norm(5.0);
         opt.step();

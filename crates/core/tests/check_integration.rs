@@ -1,0 +1,163 @@
+//! End-to-end integration of `autoac-check` with the training stack:
+//!
+//! 1. a dead/frozen-parameter audit over the model zoo (every parameter a
+//!    pipeline exposes must be reachable from the training loss, or be
+//!    explicitly allowlisted with a reason),
+//! 2. the full tape verifier over each model's real training graph,
+//! 3. proof that enabling `AUTOAC_CHECK` does not change training: metrics
+//!    are bitwise-identical with checks on and off.
+
+use autoac_check::tape;
+use autoac_core::{
+    pretrain_hgca, Backbone, CompletionMode, ForwardPipe, HgcaConfig, Pipeline, TrainConfig,
+};
+use autoac_data::{presets, synth, Dataset, Scale};
+use autoac_nn::GnnConfig;
+use autoac_tensor::chk;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny(seed: u64) -> Dataset {
+    synth::generate(&presets::imdb(), Scale::Tiny, seed)
+}
+
+fn cfg(data: &Dataset) -> GnnConfig {
+    GnnConfig {
+        in_dim: 16,
+        hidden: 16,
+        out_dim: data.num_classes,
+        layers: 2,
+        dropout: 0.0,
+        ..Default::default()
+    }
+}
+
+/// Names a pipeline's parameters positionally: stable across runs because
+/// `params()` order is deterministic.
+fn named_params(tag: &str, pipe: &dyn ForwardPipe) -> Vec<(String, autoac_tensor::Tensor)> {
+    pipe.params()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (format!("{tag}/param{i}"), p))
+        .collect()
+}
+
+/// Builds a classification loss over the training split, exactly as the
+/// trainer does.
+fn training_loss(pipe: &dyn ForwardPipe, data: &Dataset, seed: u64) -> autoac_tensor::Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fwd = pipe.forward(true, &mut rng);
+    fwd.output.cross_entropy_rows(&data.global_labels(), &data.split.train)
+}
+
+#[test]
+fn model_zoo_has_no_dead_or_frozen_params() {
+    let data = tiny(0);
+    let cfg = cfg(&data);
+    for backbone in [
+        Backbone::SimpleHgn,
+        Backbone::Magnn,
+        Backbone::HetGnn,
+        Backbone::Gcn,
+        Backbone::Gat,
+        Backbone::Han,
+        Backbone::HetSann,
+        Backbone::Hgt,
+        Backbone::Gtn,
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pipe = Pipeline::new(&data, backbone, &cfg, CompletionMode::Zero, &mut rng);
+        let loss = training_loss(&pipe, &data, 7);
+        let params = named_params(backbone.name(), &pipe);
+        let report = tape::verify_with_params(&loss, &params, &[]);
+        assert!(
+            report.is_clean(),
+            "{}: audit found problems:\n{}",
+            backbone.name(),
+            report.render()
+        );
+        assert!(report.inspected > params.len());
+    }
+}
+
+#[test]
+fn gatne_dead_encoder_params_are_caught_then_allowlisted() {
+    // GATNE is attribute-free by design (trainable base embeddings instead
+    // of input features), so inside the standard pipeline every encoder
+    // projection is unreachable from the loss. The audit must catch exactly
+    // those, and the allowlist must silence exactly those.
+    let data = tiny(1);
+    let cfg = cfg(&data);
+    let mut rng = StdRng::seed_from_u64(9);
+    let pipe = Pipeline::new(&data, Backbone::Gatne, &cfg, CompletionMode::Zero, &mut rng);
+    let loss = training_loss(&pipe, &data, 9);
+    let params = named_params("GATNE", &pipe);
+    let n_enc = pipe.encoder.params().len();
+    assert!(n_enc > 0, "fixture needs a non-trivial encoder");
+
+    let report = tape::verify_with_params(&loss, &params, &[]);
+    let dead: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "dead-param")
+        .map(|d| d.message.split('`').nth(1).expect("message names the param"))
+        .collect();
+    assert_eq!(dead.len(), n_enc, "expected every encoder param dead:\n{}", report.render());
+    // `params()` lists encoder params first, so the dead set is the prefix.
+    for (i, name) in dead.iter().enumerate() {
+        assert_eq!(*name, format!("GATNE/param{i}"));
+    }
+
+    // Allowlisted (GATNE ignores input attributes; the encoder only exists
+    // because the generic pipeline always carries one), the audit is clean.
+    let allow: Vec<String> = dead.iter().map(|s| s.to_string()).collect();
+    let allow_refs: Vec<&str> = allow.iter().map(String::as_str).collect();
+    let report = tape::verify_with_params(&loss, &params, &allow_refs);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn hgca_pipe_audits_clean_after_pretraining() {
+    let data = tiny(2);
+    let cfg = cfg(&data);
+    let hc = HgcaConfig { pretrain_epochs: 2, ..Default::default() };
+    let pipe = pretrain_hgca(&data, Backbone::Gcn, &cfg, &hc, 3);
+    let loss = training_loss(&pipe, &data, 3);
+    // The frozen completion stage (encoder + mean transform) is evaluated
+    // under no_grad and deliberately not in params(); everything params()
+    // does expose must be live.
+    let report = tape::verify_with_params(&loss, &named_params("HGCA", &pipe), &[]);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn training_metrics_are_bitwise_identical_with_checks_on() {
+    let run = |checks: bool| {
+        chk::with_check(checks, || {
+            let data = tiny(4);
+            let cfg = cfg(&data);
+            let mut rng = StdRng::seed_from_u64(11);
+            let pipe =
+                Pipeline::new(&data, Backbone::SimpleHgn, &cfg, CompletionMode::Zero, &mut rng);
+            let tc = TrainConfig { epochs: 5, patience: 5, ..Default::default() };
+            autoac_core::train_node_classification(&pipe, &data, &tc, 11)
+        })
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.epochs_run, on.epochs_run);
+    assert_eq!(
+        off.macro_f1.to_bits(),
+        on.macro_f1.to_bits(),
+        "AUTOAC_CHECK changed macro-F1: {} vs {}",
+        off.macro_f1,
+        on.macro_f1
+    );
+    assert_eq!(
+        off.micro_f1.to_bits(),
+        on.micro_f1.to_bits(),
+        "AUTOAC_CHECK changed micro-F1: {} vs {}",
+        off.micro_f1,
+        on.micro_f1
+    );
+}

@@ -47,6 +47,10 @@ pub(crate) struct Node {
     requires_grad: bool,
     parents: Vec<Tensor>,
     backward: Option<BackwardFn>,
+    /// Name of the op that produced this node (`"leaf"` for leaves) —
+    /// captured from [`crate::chk::current_op`] so sanitizer reports and the
+    /// tape verifier can name the op instead of a bare node id.
+    op: &'static str,
 }
 
 thread_local! {
@@ -124,6 +128,7 @@ impl Tensor {
                 requires_grad,
                 parents: Vec::new(),
                 backward: None,
+                op: "leaf",
             }),
         }
     }
@@ -140,7 +145,7 @@ impl Tensor {
 
     /// Scalar constant as a `(1, 1)` tensor.
     pub fn scalar(v: f32) -> Self {
-        Self::constant(Matrix::from_vec(1, 1, vec![v]))
+        Self::constant(Matrix::full(1, 1, v))
     }
 
     /// Internal constructor for op results.
@@ -157,6 +162,7 @@ impl Tensor {
                 requires_grad: true,
                 parents,
                 backward: Some(backward),
+                op: crate::chk::current_op(),
             }),
         }
     }
@@ -164,6 +170,24 @@ impl Tensor {
     /// Unique node id (monotonically increasing with creation order).
     pub fn id(&self) -> u64 {
         self.node.id
+    }
+
+    /// Name of the op that produced this node; `"leaf"` for leaves and for
+    /// constants produced under [`no_grad`] (their history is dropped).
+    pub fn op_name(&self) -> &'static str {
+        self.node.op
+    }
+
+    /// The op inputs this node was recorded with. Empty for leaves. Unlike
+    /// the internal topo walk this exposes *all* parents, including
+    /// non-differentiable constants — the tape verifier needs their shapes.
+    pub fn parents(&self) -> &[Tensor] {
+        &self.node.parents
+    }
+
+    /// True for tensors with no recorded history (parameters, constants).
+    pub fn is_leaf(&self) -> bool {
+        self.node.parents.is_empty() && self.node.backward.is_none()
     }
 
     /// Whether this tensor participates in gradient computation.
@@ -241,11 +265,35 @@ impl Tensor {
         *self.node.grad.borrow_mut() = None;
     }
 
+    /// Under `AUTOAC_CHECK`, every gradient contribution must match the
+    /// shape of the value it flows into — a mismatch means a backward
+    /// closure scattered into the wrong parent or mis-transposed.
+    fn check_grad_shape(&self, g: &Matrix) {
+        if !crate::chk::enabled() {
+            return;
+        }
+        let vs = self.node.value.borrow().shape();
+        if g.shape() != vs {
+            panic!(
+                "autoac-check: gradient accumulation shape mismatch into `{}` \
+                 (node #{}): value is {}x{} but gradient is {}x{} (context: {})",
+                self.node.op,
+                self.node.id,
+                vs.0,
+                vs.1,
+                g.rows(),
+                g.cols(),
+                crate::chk::op_context(),
+            );
+        }
+    }
+
     /// Accumulates `g` into this node's gradient buffer.
     pub(crate) fn accum_grad(&self, g: &Matrix) {
         if !self.node.requires_grad {
             return;
         }
+        self.check_grad_shape(g);
         let mut slot = self.node.grad.borrow_mut();
         match slot.as_mut() {
             Some(existing) => existing.add_assign(g),
@@ -261,6 +309,7 @@ impl Tensor {
         if !self.node.requires_grad {
             return;
         }
+        self.check_grad_shape(&g);
         let mut slot = self.node.grad.borrow_mut();
         match slot.as_mut() {
             Some(existing) => existing.add_assign(&g),
@@ -305,6 +354,11 @@ impl Tensor {
             // bounds peak memory on long chains and returns the buffer to
             // the pool as soon as the closure finishes.
             if let Some(g) = t.node.grad.borrow_mut().take() {
+                // Re-install the recorded op name (plus the backward-phase
+                // marker) so pool/race reports name the op whose closure
+                // allocated or raced.
+                let _phase = crate::chk::backward_scope();
+                let _op = crate::chk::op_scope(t.node.op);
                 f(&g);
             }
         }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod autograd;
+pub mod chk;
 pub mod init;
 mod matrix;
 pub mod optim;

@@ -100,6 +100,28 @@ impl Matrix {
         Self { rows, cols, data: PoolVec::from_vec(data) }
     }
 
+    /// Builds a matrix by copying a row-major slice into **pooled** storage.
+    /// Hot-path code must prefer this over [`Matrix::from_vec`]: an adopted
+    /// `Vec` is almost never bucket-shaped, so it escapes the recycler and
+    /// pays a fresh allocation every iteration (`autoac-lint` flags such
+    /// sites).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_slice: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        let mut m = Self::scratch(rows, cols);
+        m.data.copy_from_slice(data);
+        m
+    }
+
     /// Builds a matrix from nested row slices (test helper).
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         let r = rows.len();

@@ -8,6 +8,7 @@ use crate::matrix::Matrix;
 impl Tensor {
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
+        let _op = crate::chk::op_scope("relu");
         let x = self.to_matrix();
         let value = x.map(|v| v.max(0.0));
         let a = self.clone();
@@ -22,6 +23,7 @@ impl Tensor {
 
     /// Leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        let _op = crate::chk::op_scope("leaky_relu");
         let x = self.to_matrix();
         let value = x.map(|v| if v > 0.0 { v } else { slope * v });
         let a = self.clone();
@@ -36,6 +38,7 @@ impl Tensor {
 
     /// Exponential linear unit (alpha = 1).
     pub fn elu(&self) -> Tensor {
+        let _op = crate::chk::op_scope("elu");
         let x = self.to_matrix();
         let value = x.map(|v| if v > 0.0 { v } else { v.exp() - 1.0 });
         let y = value.clone();
@@ -58,6 +61,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
+        let _op = crate::chk::op_scope("sigmoid");
         let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
         let y = value.clone();
         let a = self.clone();
@@ -72,6 +76,7 @@ impl Tensor {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
+        let _op = crate::chk::op_scope("tanh");
         let value = self.value().map(f32::tanh);
         let y = value.clone();
         let a = self.clone();
@@ -86,6 +91,7 @@ impl Tensor {
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
+        let _op = crate::chk::op_scope("exp");
         let value = self.value().map(f32::exp);
         let y = value.clone();
         let a = self.clone();
@@ -98,6 +104,7 @@ impl Tensor {
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Tensor {
+        let _op = crate::chk::op_scope("ln");
         let x = self.to_matrix();
         let value = x.map(f32::ln);
         let a = self.clone();
@@ -110,6 +117,7 @@ impl Tensor {
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
+        let _op = crate::chk::op_scope("sqrt");
         let value = self.value().map(f32::sqrt);
         let y = value.clone();
         let a = self.clone();
@@ -124,6 +132,7 @@ impl Tensor {
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
+        let _op = crate::chk::op_scope("square");
         let x = self.to_matrix();
         let value = x.map(|v| v * v);
         let a = self.clone();
@@ -136,6 +145,7 @@ impl Tensor {
 
     /// Inverted-scale dropout. A no-op when `training` is false or `p == 0`.
     pub fn dropout(&self, p: f32, training: bool, rng: &mut impl Rng) -> Tensor {
+        let _op = crate::chk::op_scope("dropout");
         assert!((0.0..1.0).contains(&p), "dropout: p must be in [0, 1)");
         if !training || p == 0.0 {
             return self.clone();
@@ -159,6 +169,7 @@ impl Tensor {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
+        let _op = crate::chk::op_scope("softmax_rows");
         let value = self.value().softmax_rows();
         let y = value.clone();
         let a = self.clone();
@@ -182,6 +193,7 @@ impl Tensor {
 
     /// Row-wise log-softmax.
     pub fn log_softmax_rows(&self) -> Tensor {
+        let _op = crate::chk::op_scope("log_softmax_rows");
         let value = self.value().log_softmax_rows();
         let softmax = value.map(f32::exp);
         let a = self.clone();

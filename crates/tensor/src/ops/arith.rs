@@ -11,6 +11,7 @@ use crate::matrix::Matrix;
 impl Tensor {
     /// Elementwise sum.
     pub fn add(&self, other: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("add");
         let value = self.value().add(&other.value());
         let (a, b) = (self.clone(), other.clone());
         Tensor::from_op(
@@ -25,6 +26,7 @@ impl Tensor {
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("sub");
         let value = self.value().sub(&other.value());
         let (a, b) = (self.clone(), other.clone());
         Tensor::from_op(
@@ -39,6 +41,7 @@ impl Tensor {
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("mul");
         let value = self.value().mul(&other.value());
         let (a, b) = (self.clone(), other.clone());
         let (av, bv) = (self.to_matrix(), other.to_matrix());
@@ -54,6 +57,7 @@ impl Tensor {
 
     /// Scalar multiple.
     pub fn scale(&self, s: f32) -> Tensor {
+        let _op = crate::chk::op_scope("scale");
         let value = self.value().scale(s);
         let a = self.clone();
         Tensor::from_op(
@@ -70,6 +74,7 @@ impl Tensor {
 
     /// Adds a scalar offset to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
+        let _op = crate::chk::op_scope("add_scalar");
         let value = self.value().map(|v| v + s);
         let a = self.clone();
         Tensor::from_op(value, vec![self.clone()], Box::new(move |g| a.accum_grad(g)))
@@ -77,6 +82,7 @@ impl Tensor {
 
     /// Multiplies every element by a trainable `(1,1)` scalar tensor.
     pub fn mul_scalar_tensor(&self, s: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("mul_scalar_tensor");
         assert_eq!(s.shape(), (1, 1), "mul_scalar_tensor: scalar must be (1,1)");
         let sv = s.item();
         let value = self.value().scale(sv);
@@ -88,13 +94,14 @@ impl Tensor {
             Box::new(move |g| {
                 a.accum_grad_owned(g.scale(sv));
                 let ds = g.mul(&av).sum();
-                b.accum_grad_owned(Matrix::from_vec(1, 1, vec![ds]));
+                b.accum_grad_owned(Matrix::full(1, 1, ds));
             }),
         )
     }
 
     /// Matrix product.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("matmul");
         let value = self.value().matmul(&other.value());
         let (a, b) = (self.clone(), other.clone());
         let (av, bv) = (self.to_matrix(), other.to_matrix());
@@ -111,6 +118,7 @@ impl Tensor {
 
     /// Transposed copy.
     pub fn transpose(&self) -> Tensor {
+        let _op = crate::chk::op_scope("transpose");
         let value = self.value().transpose();
         let a = self.clone();
         Tensor::from_op(
@@ -122,6 +130,7 @@ impl Tensor {
 
     /// Adds a `(1, cols)` bias row to every row.
     pub fn add_row_vec(&self, bias: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("add_row_vec");
         let value = self.value().add_row_vec(&bias.value());
         let (a, b) = (self.clone(), bias.clone());
         Tensor::from_op(
@@ -137,6 +146,7 @@ impl Tensor {
     /// Multiplies each row by the matching entry of a `(rows, 1)` column
     /// vector (per-row scaling, e.g. attention weights applied to messages).
     pub fn mul_col_vec(&self, col: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("mul_col_vec");
         let value = self.value().mul_col_vec(&col.value());
         let (a, b) = (self.clone(), col.clone());
         let (av, bv) = (self.to_matrix(), col.to_matrix());
@@ -152,6 +162,7 @@ impl Tensor {
 
     /// Per-row dot product with another same-shape tensor, as `(rows, 1)`.
     pub fn rowwise_dot(&self, other: &Tensor) -> Tensor {
+        let _op = crate::chk::op_scope("rowwise_dot");
         let value = self.value().rowwise_dot(&other.value());
         let (a, b) = (self.clone(), other.clone());
         let (av, bv) = (self.to_matrix(), other.to_matrix());
@@ -167,6 +178,7 @@ impl Tensor {
 
     /// Horizontal concatenation.
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        let _op = crate::chk::op_scope("concat_cols");
         let values: Vec<Matrix> = parts.iter().map(|p| p.to_matrix()).collect();
         let refs: Vec<&Matrix> = values.iter().collect();
         let value = Matrix::concat_cols(&refs);
@@ -188,6 +200,7 @@ impl Tensor {
 
     /// Vertical concatenation.
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        let _op = crate::chk::op_scope("concat_rows");
         let values: Vec<Matrix> = parts.iter().map(|p| p.to_matrix()).collect();
         let refs: Vec<&Matrix> = values.iter().collect();
         let value = Matrix::concat_rows(&refs);
@@ -202,7 +215,7 @@ impl Tensor {
                 for (p, &h) in captured.iter().zip(&heights) {
                     let cols = g.cols();
                     let block =
-                        Matrix::from_vec(h, cols, g.data()[off * cols..(off + h) * cols].to_vec());
+                        Matrix::from_slice(h, cols, &g.data()[off * cols..(off + h) * cols]);
                     p.accum_grad_owned(block);
                     off += h;
                 }
@@ -212,6 +225,7 @@ impl Tensor {
 
     /// Extracts the column block `[start, start+len)`.
     pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
+        let _op = crate::chk::op_scope("slice_cols");
         let value = self.value().slice_cols(start, len);
         let a = self.clone();
         let (rows, cols) = self.shape();

@@ -78,6 +78,7 @@ impl Tensor {
     /// `self.matmul(w).add_row_vec(b)` followed by the activation, forward
     /// and backward.
     pub fn linear(&self, w: &Tensor, b: Option<&Tensor>, act: Act) -> Tensor {
+        let _op = crate::chk::op_scope("linear");
         if let Act::LeakyRelu(slope) = act {
             debug_assert!(slope >= 0.0, "linear: negative leaky slope breaks output-based grad");
         }

@@ -11,6 +11,7 @@ impl Tensor {
     /// Gathers rows by index: `out[i] = self[idx[i]]`. Duplicate indices are
     /// allowed; gradients scatter-add back.
     pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
+        let _op = crate::chk::op_scope("gather_rows");
         let (rows, _) = self.shape();
         let value = self.value().gather_rows(idx);
         let a = self.clone();
@@ -27,6 +28,7 @@ impl Tensor {
     /// Scatter-adds rows by index into a `(num_out, cols)` tensor:
     /// `out[idx[i]] += self[i]`. The adjoint of [`Tensor::gather_rows`].
     pub fn scatter_add_rows(&self, idx: &[u32], num_out: usize) -> Tensor {
+        let _op = crate::chk::op_scope("scatter_add_rows");
         let value = self.value().scatter_add_rows(idx, num_out);
         let a = self.clone();
         let idx: Rc<[u32]> = idx.into();
@@ -46,11 +48,10 @@ impl Tensor {
         for &i in idx {
             counts[i as usize] += 1.0;
         }
-        let inv = Matrix::from_vec(
-            num_out,
-            1,
-            counts.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect(),
-        );
+        let mut inv = Matrix::scratch(num_out, 1); // every entry written below
+        for (o, &c) in inv.data_mut().iter_mut().zip(&counts) {
+            *o = if c > 0.0 { 1.0 / c } else { 0.0 };
+        }
         let summed = self.scatter_add_rows(idx, num_out);
         summed.mul_col_vec(&Tensor::constant(inv))
     }
@@ -59,6 +60,7 @@ impl Tensor {
     /// `group[i]` are softmax-normalized together. This is the edge-softmax
     /// used by attention GNNs (groups = destination nodes).
     pub fn group_softmax(&self, group: &[u32], num_groups: usize) -> Tensor {
+        let _op = crate::chk::op_scope("group_softmax");
         let (rows, cols) = self.shape();
         assert_eq!(cols, 1, "group_softmax: expected an (E, 1) score column");
         assert_eq!(rows, group.len(), "group_softmax: group length mismatch");

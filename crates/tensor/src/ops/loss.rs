@@ -13,6 +13,7 @@ impl Tensor {
     /// which nodes contribute (e.g. the training split). Returns the mean
     /// NLL as a `(1,1)` tensor.
     pub fn nll_loss_rows(&self, targets: &[u32], rows: &[u32]) -> Tensor {
+        let _op = crate::chk::op_scope("nll_loss_rows");
         let (n, c) = self.shape();
         assert_eq!(targets.len(), n, "nll_loss_rows: target length mismatch");
         assert!(!rows.is_empty(), "nll_loss_rows: empty row subset");
@@ -30,7 +31,7 @@ impl Tensor {
         let targets: Rc<[u32]> = targets.into();
         let rows: Rc<[u32]> = rows.into();
         Tensor::from_op(
-            Matrix::from_vec(1, 1, vec![loss * inv]),
+            Matrix::full(1, 1, loss * inv),
             vec![self.clone()],
             Box::new(move |g| {
                 let scale = g.data()[0] * inv;
@@ -52,6 +53,7 @@ impl Tensor {
     /// Binary cross-entropy with logits for an `(E, 1)` score column against
     /// `{0, 1}` labels. Numerically stable formulation; returns the mean.
     pub fn bce_with_logits(&self, labels: &[f32]) -> Tensor {
+        let _op = crate::chk::op_scope("bce_with_logits");
         let (e, c) = self.shape();
         assert_eq!(c, 1, "bce_with_logits: expected an (E, 1) logit column");
         assert_eq!(labels.len(), e, "bce_with_logits: label length mismatch");
@@ -66,7 +68,7 @@ impl Tensor {
         let a = self.clone();
         let labels: Rc<[f32]> = labels.into();
         Tensor::from_op(
-            Matrix::from_vec(1, 1, vec![loss * inv]),
+            Matrix::full(1, 1, loss * inv),
             vec![self.clone()],
             Box::new(move |g| {
                 let scale = g.data()[0] * inv;
@@ -84,6 +86,7 @@ impl Tensor {
     /// `(N, C)` logit matrix against a `{0,1}` target matrix of the same
     /// shape. Returns the mean over `rows × C` entries.
     pub fn multilabel_bce_rows(&self, targets: &Matrix, rows: &[u32]) -> Tensor {
+        let _op = crate::chk::op_scope("multilabel_bce_rows");
         let (n, c) = self.shape();
         assert_eq!(targets.shape(), (n, c), "multilabel_bce_rows: target shape mismatch");
         assert!(!rows.is_empty(), "multilabel_bce_rows: empty row subset");
@@ -100,7 +103,7 @@ impl Tensor {
         let targets = targets.clone();
         let rows: Rc<[u32]> = rows.into();
         Tensor::from_op(
-            Matrix::from_vec(1, 1, vec![loss * inv]),
+            Matrix::full(1, 1, loss * inv),
             vec![self.clone()],
             Box::new(move |g| {
                 let scale = g.data()[0] * inv;

@@ -6,8 +6,9 @@ use crate::matrix::Matrix;
 impl Tensor {
     /// Sum of all elements, as a `(1,1)` tensor.
     pub fn sum(&self) -> Tensor {
+        let _op = crate::chk::op_scope("sum");
         let (rows, cols) = self.shape();
-        let value = Matrix::from_vec(1, 1, vec![self.value().sum()]);
+        let value = Matrix::full(1, 1, self.value().sum());
         let a = self.clone();
         Tensor::from_op(
             value,
@@ -27,6 +28,7 @@ impl Tensor {
 
     /// Row sums, as a `(rows, 1)` tensor.
     pub fn sum_rows(&self) -> Tensor {
+        let _op = crate::chk::op_scope("sum_rows");
         let (rows, cols) = self.shape();
         let value = self.value().sum_rows();
         let a = self.clone();
@@ -48,6 +50,7 @@ impl Tensor {
 
     /// Column sums, as a `(1, cols)` tensor.
     pub fn sum_cols(&self) -> Tensor {
+        let _op = crate::chk::op_scope("sum_cols");
         let (rows, cols) = self.shape();
         let value = self.value().sum_cols();
         let a = self.clone();

@@ -30,14 +30,26 @@
 //! matrices, or a read of recycled memory that was never overwritten)
 //! surfaces as loud NaNs instead of silent corruption.
 //!
+//! Under `AUTOAC_CHECK` (see [`crate::chk`]) the poisoning upgrades to a
+//! **provenance sanitizer**: every pooled buffer carries a generation
+//! counter and a record of the op that allocated and released it, free-listed
+//! buffers get [`CANARY`] words at both ends, and a write through a stale
+//! pointer (use-after-release) or a second release of the same buffer
+//! (double-release) produces a deterministic [`PoolViolation`] report naming
+//! both ops — a panic outside tests, a captured value inside
+//! [`capture_pool_violations`].
+//!
 //! The free lists are thread-local on purpose: the autograd tape is
 //! single-threaded, kernels only parallelize *inside* an op (worker threads
 //! never allocate matrices), and a thread-local `RefCell` costs no atomics
 //! on the alloc/free fast path.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+use crate::chk;
 
 /// Smallest bucket, in `f32` elements. Requests below this still get a
 /// `MIN_BUCKET`-element buffer (256 bytes — small enough not to matter,
@@ -122,7 +134,10 @@ pub fn reset_stats() {
 fn env_enabled() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("AUTOAC_POOL") {
-        Ok(raw) => !matches!(raw.trim(), "0" | "false" | "off" | "no"),
+        // Strict: a typo like AUTOAC_POOL=offf must abort, not silently
+        // leave the pool on (it used to — any unrecognized value enabled).
+        Ok(raw) => chk::parse_bool_env("AUTOAC_POOL", &raw)
+            .unwrap_or_else(|e| panic!("autoac-tensor: {e}")),
         Err(_) => true,
     })
 }
@@ -156,9 +171,12 @@ pub fn with_pool<T>(on: bool, f: impl FnOnce() -> T) -> T {
 }
 
 /// Frees every buffer held by this thread's free lists (e.g. between
-/// benchmark phases, or after a memory-heavy stage).
+/// benchmark phases, or after a memory-heavy stage). Also forgets all
+/// sanitizer provenance records: the freed addresses may be reused by the
+/// system allocator, and a stale record would misattribute a fresh buffer.
 pub fn trim() {
     FREE_LISTS.with(|p| p.borrow_mut().clear());
+    SANITIZER.with(|s| s.borrow_mut().bufs.clear());
 }
 
 /// Bucket size (in elements) for a request of `len` elements.
@@ -181,9 +199,10 @@ fn pop_free(bucket: usize) -> Option<Vec<f32>> {
 
 /// Pushes a fully-initialized buffer (len == capacity == bucket) onto its
 /// free list; drops it if the list is full or the bucket is out of range.
-fn push_free(buf: Vec<f32>) {
+/// Returns whether the buffer was retained (kept alive in the free list).
+fn push_free(buf: Vec<f32>) -> bool {
     debug_assert_eq!(buf.len(), buf.capacity());
-    let Some(idx) = bucket_index(buf.capacity()) else { return };
+    let Some(idx) = bucket_index(buf.capacity()) else { return false };
     let bytes = (buf.capacity() * std::mem::size_of::<f32>()) as u64;
     let kept = FREE_LISTS.with(|p| {
         let mut lists = p.borrow_mut();
@@ -200,6 +219,260 @@ fn push_free(buf: Vec<f32>) {
     if kept {
         BYTES_RECYCLED.fetch_add(bytes, Ordering::Relaxed);
     }
+    kept
+}
+
+// ---------------------------------------------------------------------------
+// Provenance sanitizer (armed by AUTOAC_CHECK; see crate::chk).
+// ---------------------------------------------------------------------------
+
+/// Canary word written at both ends of a free-listed buffer in check mode.
+/// A quiet NaN, like [`POISON`], but with a distinct payload so a report can
+/// tell "stale read of poison" from "canary intact".
+pub const CANARY: f32 = f32::from_bits(0x7FC0_CA4A);
+
+/// What the pool sanitizer caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolViolationKind {
+    /// A buffer sitting in the free list was written through a stale
+    /// pointer (its canary words were smashed between release and reuse).
+    UseAfterRelease,
+    /// A buffer already in the free list was released a second time via an
+    /// aliasing owner. The aliased copy is quarantined (leaked), never freed.
+    DoubleRelease,
+}
+
+/// A deterministic report from the pool provenance sanitizer.
+#[derive(Debug, Clone)]
+pub struct PoolViolation {
+    /// Which hazard was detected.
+    pub kind: PoolViolationKind,
+    /// Bucket size of the buffer, in `f32` elements.
+    pub bucket: usize,
+    /// How many times this buffer had been recycled when the hazard fired.
+    pub generation: u64,
+    /// Op context that (re)allocated the buffer / observed the hazard,
+    /// e.g. `matmul` or `matmul [backward]`.
+    pub alloc_op: String,
+    /// Op context that released the buffer into the free list.
+    pub release_op: String,
+}
+
+impl std::fmt::Display for PoolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            PoolViolationKind::UseAfterRelease => "use-after-release",
+            PoolViolationKind::DoubleRelease => "double-release",
+        };
+        write!(
+            f,
+            "pool sanitizer: {what} on a {}-element buffer (generation {}): \
+             released by `{}`, detected at `{}`",
+            self.bucket, self.generation, self.release_op, self.alloc_op
+        )
+    }
+}
+
+/// Per-buffer provenance, keyed by the heap base address.
+struct BufRecord {
+    generation: u64,
+    /// True while the buffer sits in the free list (canaries written).
+    freed: bool,
+    alloc_op: String,
+    release_op: String,
+}
+
+struct SanState {
+    bufs: HashMap<usize, BufRecord>,
+    /// `Some` while a [`capture_pool_violations`] scope is active.
+    capture: Option<Vec<PoolViolation>>,
+}
+
+thread_local! {
+    static SANITIZER: RefCell<SanState> =
+        RefCell::new(SanState { bufs: HashMap::new(), capture: None });
+}
+
+/// Routes a violation: captured when a test scope is active, fatal otherwise
+/// (so an `AUTOAC_CHECK=1` run fails loudly on the first real hazard).
+fn san_report(v: PoolViolation) {
+    let fatal = SANITIZER.with(|s| {
+        let mut st = s.borrow_mut();
+        match st.capture.as_mut() {
+            Some(out) => {
+                out.push(v.clone());
+                false
+            }
+            None => true,
+        }
+    });
+    if fatal {
+        panic!("autoac-check: {v}");
+    }
+}
+
+/// Runs `f` with pool-sanitizer violations captured instead of fatal, and
+/// returns them alongside `f`'s result. Nests: the inner scope's violations
+/// do not leak into the outer one.
+pub fn capture_pool_violations<T>(f: impl FnOnce() -> T) -> (T, Vec<PoolViolation>) {
+    let prev = SANITIZER.with(|s| s.borrow_mut().capture.replace(Vec::new()));
+    struct Restore(Option<Vec<PoolViolation>>);
+    // Restores on panic too, so a poisoned capture scope cannot leak into
+    // later tests on the same thread.
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SANITIZER.with(|s| s.borrow_mut().capture = self.0.take());
+        }
+    }
+    let mut restore = Restore(prev);
+    let out = f();
+    let captured = SANITIZER
+        .with(|s| std::mem::replace(&mut s.borrow_mut().capture, restore.0.take()))
+        .unwrap_or_default();
+    std::mem::forget(restore);
+    (out, captured)
+}
+
+/// Records a buffer freshly obtained from the system allocator (or adopted
+/// via `from_vec`). Overwrites any stale record at the same address — the
+/// allocator may legitimately reuse addresses once buffers leave the pool.
+fn san_on_fresh(ptr: usize) {
+    SANITIZER.with(|s| {
+        let mut st = s.borrow_mut();
+        let gen = st.bufs.get(&ptr).map_or(0, |r| r.generation);
+        st.bufs.insert(
+            ptr,
+            BufRecord {
+                generation: gen,
+                freed: false,
+                alloc_op: chk::op_context(),
+                release_op: String::new(),
+            },
+        );
+    });
+}
+
+/// Verifies canaries on a buffer popped from the free list and flips its
+/// record to live. `v` still has `len == capacity` here — the canaries sit
+/// at the first and last element of the full bucket.
+fn san_on_reuse(v: &[f32]) {
+    let ptr = v.as_ptr() as usize;
+    let cap = v.len();
+    let violation = SANITIZER.with(|s| {
+        let mut st = s.borrow_mut();
+        match st.bufs.get_mut(&ptr) {
+            Some(rec) if rec.freed => {
+                let intact = v[0].to_bits() == CANARY.to_bits()
+                    && v[cap - 1].to_bits() == CANARY.to_bits();
+                rec.freed = false;
+                rec.generation += 1;
+                rec.alloc_op = chk::op_context();
+                (!intact).then(|| PoolViolation {
+                    kind: PoolViolationKind::UseAfterRelease,
+                    bucket: cap,
+                    generation: rec.generation,
+                    alloc_op: rec.alloc_op.clone(),
+                    release_op: rec.release_op.clone(),
+                })
+            }
+            // Released before checks were armed (no canaries written):
+            // adopt it as live without judging its contents.
+            _ => {
+                st.bufs.insert(
+                    ptr,
+                    BufRecord {
+                        generation: 1,
+                        freed: false,
+                        alloc_op: chk::op_context(),
+                        release_op: String::new(),
+                    },
+                );
+                None
+            }
+        }
+    });
+    if let Some(v) = violation {
+        san_report(v);
+    }
+}
+
+/// True when the sanitizer believes this address is currently in the free
+/// list — releasing it again would alias.
+fn san_is_freed(ptr: usize) -> bool {
+    SANITIZER.with(|s| s.borrow().bufs.get(&ptr).is_some_and(|r| r.freed))
+}
+
+/// Marks a buffer as released into the free list (`kept`) or evicted back
+/// to the system allocator (record dropped — the address may be reused).
+fn san_on_release(ptr: usize, kept: bool) {
+    SANITIZER.with(|s| {
+        let mut st = s.borrow_mut();
+        if !kept {
+            st.bufs.remove(&ptr);
+            return;
+        }
+        let ctx = chk::op_context();
+        match st.bufs.get_mut(&ptr) {
+            Some(rec) => {
+                rec.freed = true;
+                rec.release_op = ctx;
+            }
+            None => {
+                st.bufs.insert(
+                    ptr,
+                    BufRecord {
+                        generation: 0,
+                        freed: true,
+                        alloc_op: String::new(),
+                        release_op: ctx,
+                    },
+                );
+            }
+        }
+    });
+}
+
+/// Drops the provenance record for a buffer escaping the pool (`into_vec`).
+fn san_untrack(ptr: usize) {
+    SANITIZER.with(|s| {
+        s.borrow_mut().bufs.remove(&ptr);
+    });
+}
+
+/// Test hook: simulates a use-after-release — a stale pointer writes into a
+/// buffer that already went back to the free list, and the next allocation
+/// from that bucket detects the smashed canary. Must run with the pool and
+/// `AUTOAC_CHECK` armed, inside [`capture_pool_violations`].
+#[doc(hidden)]
+pub fn seed_use_after_release_for_tests() {
+    assert!(enabled() && chk::enabled(), "seed requires pool + checks armed");
+    let _op = chk::op_scope("uar_fixture");
+    let mut a = PoolVec::zeroed(MIN_BUCKET);
+    let ptr = a.vec.as_mut_ptr();
+    drop(a); // buffer enters the free list, canaried at both ends
+    // The allocation is still alive (owned by the thread-local free list);
+    // this models exactly the bug class: a stale alias writing after free.
+    unsafe { ptr.write(0.0) };
+    let _b = PoolVec::zeroed(MIN_BUCKET); // pops the same buffer → detected
+}
+
+/// Test hook: simulates a double-release — an aliasing `Vec` over a buffer
+/// already in the free list is dropped as if it owned the memory. The
+/// sanitizer flags it and quarantines (leaks) the alias instead of letting
+/// the free list hold the same address twice. Must run with the pool and
+/// `AUTOAC_CHECK` armed, inside [`capture_pool_violations`].
+#[doc(hidden)]
+pub fn seed_double_release_for_tests() {
+    assert!(enabled() && chk::enabled(), "seed requires pool + checks armed");
+    let _op = chk::op_scope("dr_fixture");
+    let a = PoolVec::zeroed(MIN_BUCKET);
+    let ptr = a.vec.as_ptr() as *mut f32;
+    drop(a); // first (legitimate) release
+    // SAFETY for the test's purposes only: this deliberately constructs an
+    // aliasing owner over free-listed memory; the sanitizer must quarantine
+    // it before any real double-free can happen.
+    let alias = unsafe { Vec::from_raw_parts(ptr, MIN_BUCKET, MIN_BUCKET) };
+    drop(PoolVec { vec: alias, recyclable: true }); // second release → flagged
 }
 
 /// Heap buffer behind [`Matrix`]: a `Vec<f32>` that returns itself to the
@@ -230,6 +503,9 @@ impl PoolVec {
         let bucket = bucket_for(len);
         if let Some(mut v) = pop_free(bucket) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            if chk::enabled() {
+                san_on_reuse(&v); // canaries are at the full-bucket ends
+            }
             // SAFETY: recycled buffers are fully initialized up to capacity
             // (see the type invariant) and `len <= bucket == capacity`.
             unsafe { v.set_len(len) };
@@ -238,7 +514,11 @@ impl PoolVec {
         MISSES.fetch_add(1, Ordering::Relaxed);
         let mut v = vec![0.0f32; bucket]; // initialize the whole bucket once
         v.truncate(len);
-        Self { vec: v, recyclable: bucket_index(bucket).is_some() }
+        let recyclable = bucket_index(bucket).is_some();
+        if recyclable && chk::enabled() {
+            san_on_fresh(v.as_ptr() as usize);
+        }
+        Self { vec: v, recyclable }
     }
 
     /// A zero-filled buffer of `len` elements.
@@ -273,6 +553,9 @@ impl PoolVec {
         let bucket = bucket_for(len);
         if let Some(mut v) = pop_free(bucket) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            if chk::enabled() {
+                san_on_reuse(&v);
+            }
             // SAFETY: recycled buffers are fully initialized up to capacity
             // (see the type invariant) and `len <= bucket == capacity`.
             unsafe { v.set_len(len) };
@@ -281,7 +564,11 @@ impl PoolVec {
         MISSES.fetch_add(1, Ordering::Relaxed);
         let mut v = vec![0.0f32; bucket];
         v.truncate(len);
-        (Self { vec: v, recyclable: bucket_index(bucket).is_some() }, true)
+        let recyclable = bucket_index(bucket).is_some();
+        if recyclable && chk::enabled() {
+            san_on_fresh(v.as_ptr() as usize);
+        }
+        (Self { vec: v, recyclable }, true)
     }
 
     /// Adopts a caller-provided vector without copying. The buffer is
@@ -293,11 +580,17 @@ impl PoolVec {
             && cap >= MIN_BUCKET
             && cap.is_power_of_two()
             && bucket_index(cap).is_some();
+        if recyclable && enabled() && chk::enabled() {
+            san_on_fresh(vec.as_ptr() as usize);
+        }
         Self { vec, recyclable }
     }
 
     /// Extracts the underlying vector; the buffer escapes the pool.
     pub(crate) fn into_vec(mut self) -> Vec<f32> {
+        if self.recyclable && chk::enabled() && self.vec.capacity() != 0 {
+            san_untrack(self.vec.as_ptr() as usize);
+        }
         std::mem::take(&mut self.vec) // the drained self drops as a no-op
     }
 }
@@ -305,12 +598,48 @@ impl PoolVec {
 impl Drop for PoolVec {
     fn drop(&mut self) {
         if !self.recyclable || self.vec.capacity() == 0 || !enabled() {
-            return; // plain free
+            // Plain free. Forget any provenance record: the system allocator
+            // may hand this address out again for an unrelated buffer.
+            if self.recyclable && self.vec.capacity() != 0 && chk::enabled() {
+                san_untrack(self.vec.as_ptr() as usize);
+            }
+            return;
         }
         let mut v = std::mem::take(&mut self.vec);
         // SAFETY: recyclable ⇒ the full capacity was initialized (type
         // invariant), so restoring len == capacity is sound.
         unsafe { v.set_len(v.capacity()) };
+        if chk::enabled() {
+            let ptr = v.as_ptr() as usize;
+            if san_is_freed(ptr) {
+                // An aliasing owner is releasing a buffer that is already in
+                // the free list. Quarantine the alias (leak it) — pushing it
+                // would make the pool hand the same memory out twice.
+                let release_op = SANITIZER.with(|s| {
+                    s.borrow()
+                        .bufs
+                        .get(&ptr)
+                        .map_or_else(String::new, |r| r.release_op.clone())
+                });
+                let bucket = v.capacity();
+                std::mem::forget(v);
+                san_report(PoolViolation {
+                    kind: PoolViolationKind::DoubleRelease,
+                    bucket,
+                    generation: 0,
+                    alloc_op: chk::op_context(),
+                    release_op,
+                });
+                return;
+            }
+            let len = v.len();
+            v.fill(POISON);
+            v[0] = CANARY;
+            v[len - 1] = CANARY;
+            let kept = push_free(v);
+            san_on_release(ptr, kept);
+            return;
+        }
         #[cfg(debug_assertions)]
         v.fill(POISON);
         push_free(v);
@@ -418,6 +747,62 @@ mod tests {
                 b.iter().all(|v| v.to_bits() == POISON.to_bits()),
                 "scratch from the free list must carry the poison pattern"
             );
+        });
+    }
+
+    #[test]
+    fn sanitizer_is_silent_on_clean_recycling() {
+        with_pool(true, || {
+            crate::chk::with_check(true, || {
+                trim();
+                let ((), violations) = capture_pool_violations(|| {
+                    for _ in 0..4 {
+                        let a = PoolVec::zeroed(100);
+                        drop(a);
+                        let b = PoolVec::scratch(100);
+                        drop(b);
+                    }
+                });
+                assert!(violations.is_empty(), "clean recycling flagged: {violations:?}");
+            });
+        });
+    }
+
+    #[test]
+    fn sanitizer_catches_seeded_use_after_release() {
+        with_pool(true, || {
+            crate::chk::with_check(true, || {
+                trim();
+                let ((), violations) = capture_pool_violations(|| {
+                    let _op = crate::chk::op_scope("uar_fixture");
+                    seed_use_after_release_for_tests();
+                });
+                assert_eq!(violations.len(), 1, "{violations:?}");
+                let v = &violations[0];
+                assert_eq!(v.kind, PoolViolationKind::UseAfterRelease);
+                assert_eq!(v.bucket, MIN_BUCKET);
+                assert_eq!(v.release_op, "uar_fixture", "must name the releasing op");
+                assert_eq!(v.alloc_op, "uar_fixture", "must name the reallocating op");
+                trim();
+            });
+        });
+    }
+
+    #[test]
+    fn sanitizer_catches_seeded_double_release() {
+        with_pool(true, || {
+            crate::chk::with_check(true, || {
+                trim();
+                let ((), violations) = capture_pool_violations(|| {
+                    let _op = crate::chk::op_scope("dr_fixture");
+                    seed_double_release_for_tests();
+                });
+                assert_eq!(violations.len(), 1, "{violations:?}");
+                let v = &violations[0];
+                assert_eq!(v.kind, PoolViolationKind::DoubleRelease);
+                assert_eq!(v.release_op, "dr_fixture");
+                trim();
+            });
         });
     }
 

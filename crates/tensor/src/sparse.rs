@@ -284,6 +284,7 @@ impl Csr {
 /// (`dx = Aᵀ · g`). Pass the precomputed transpose — for symmetric operators
 /// (e.g. symmetrically normalized adjacency) simply pass the same `Rc` twice.
 pub fn spmm(a: &Rc<Csr>, a_t: &Rc<Csr>, x: &Tensor) -> Tensor {
+    let _op = crate::chk::op_scope("spmm");
     debug_assert_eq!(a.n_rows(), a_t.n_cols(), "spmm: transpose shape mismatch");
     debug_assert_eq!(a.n_cols(), a_t.n_rows(), "spmm: transpose shape mismatch");
     let value = a.matmul_dense(&x.value());

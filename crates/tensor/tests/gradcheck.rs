@@ -307,3 +307,52 @@ fn grad_composite_gnn_like_layer() {
         out.slice_cols(0, 2).cross_entropy_rows(&targets, &rows)
     });
 }
+
+#[test]
+fn grad_neg_and_add_scalar() {
+    gradcheck(test_input(3, 4, 70), |p| p.neg().add_scalar(1.5).square().sum());
+}
+
+#[test]
+fn grad_dropout_deterministic_mask() {
+    // Re-seeding the rng inside the closure gives every forward pass the
+    // same Bernoulli mask, so finite differences see a fixed linear map.
+    gradcheck(test_input(4, 5, 71), |p| {
+        let mut rng = StdRng::seed_from_u64(99);
+        p.dropout(0.4, true, &mut rng).square().sum()
+    });
+}
+
+#[test]
+fn grad_dropout_eval_mode_is_identity() {
+    gradcheck(test_input(3, 3, 72), |p| {
+        let mut rng = StdRng::seed_from_u64(99);
+        p.dropout(0.4, false, &mut rng).square().sum()
+    });
+}
+
+#[test]
+fn grad_linear_fused_weight_and_bias() {
+    use autoac_tensor::Act;
+    let x = Tensor::constant(test_input(4, 3, 73));
+    let b = Tensor::constant(test_input(1, 2, 74));
+    // Gradient w.r.t. the weight through the fused linear+activation op.
+    gradcheck(test_input(3, 2, 75), |w| {
+        x.linear(w, Some(&b), Act::LeakyRelu(0.2)).square().sum()
+    });
+    // Gradient w.r.t. the bias row.
+    let w = Tensor::constant(test_input(3, 2, 76));
+    gradcheck(test_input(1, 2, 77), |b| x.linear(&w, Some(b), Act::Tanh).square().sum());
+}
+
+#[test]
+fn grad_mean_rows() {
+    gradcheck(test_input(3, 5, 78), |p| p.mean_rows().square().sum());
+}
+
+#[test]
+fn grad_frob_sq_and_frob_inner() {
+    gradcheck(test_input(3, 4, 79), |p| p.frob_sq());
+    let other = Tensor::constant(test_input(3, 4, 80));
+    gradcheck(test_input(3, 4, 81), |p| p.frob_inner(&other));
+}

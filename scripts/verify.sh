@@ -11,7 +11,11 @@
 #  - the allocation benchmark (bench_alloc), which trains the same seeded
 #    model with the pool off and on in one process, asserts bitwise-equal
 #    metrics, and writes epoch-time + hit-rate numbers to
-#    results/BENCH_alloc.json.
+#    results/BENCH_alloc.json;
+#  - the checking pass: autoac-lint must exit clean over the repo, the full
+#    suite must pass with AUTOAC_CHECK=1 armed (zero sanitizer findings on
+#    clean code), and check_smoke must prove every analysis catches its
+#    seeded bug class.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -27,6 +31,19 @@ AUTOAC_POOL=0 AUTOAC_NUM_THREADS=1 cargo test -q
 
 echo "== cargo test -q (pool enabled, AUTOAC_NUM_THREADS=${MAX_THREADS}, parallel kernels) =="
 AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
+
+echo "== checking pass: autoac-lint, suite under AUTOAC_CHECK=1, check_smoke =="
+cargo run -q --release -p autoac-check --bin autoac-lint \
+  || { echo "verify.sh: FAIL — autoac-lint found violations"; exit 1; }
+# Release mode: the armed hooks sit on the hottest paths and the debug
+# suite slows several-fold with them on.
+AUTOAC_CHECK=1 cargo test -q --release \
+  -p autoac-tensor -p autoac-check -p autoac-core -p autoac-nn \
+  -p autoac-completion -p autoac \
+  || { echo "verify.sh: FAIL — suite failed with AUTOAC_CHECK=1 armed"; exit 1; }
+SMOKE_JSON="$(cargo run -q --release -p autoac-check --bin check_smoke)" \
+  || { echo "verify.sh: FAIL — check_smoke: an analysis missed its seeded bug"; exit 1; }
+echo "   check_smoke: ${SMOKE_JSON}"
 
 echo "== kill -9 and resume smoke test (ckpt_smoke) =="
 SMOKE="./target/release/ckpt_smoke"
