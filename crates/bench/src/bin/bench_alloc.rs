@@ -7,7 +7,16 @@
 //! Each phase is preceded by a short warm-up run so neither measurement pays
 //! first-touch costs the other does not (CPU caches for the baseline, free
 //! lists for the pooled run). Pool statistics are reset after the pooled
-//! warm-up, so the reported hit rate is the steady-state rate.
+//! warm-up ([`pool::stats_reset`]), so the reported hit rate is the
+//! steady-state rate.
+//!
+//! Epoch times are read from the obs span tree (`train/epoch`), with obs
+//! force-enabled for the two measured phases, instead of from the trainer's
+//! private timer. Two extra pooled runs with obs force-disabled then bound
+//! the instrumentation cost: their spread is the run-to-run noise, and the
+//! enabled run's wall time is compared against their mean. The disabled
+//! path itself is a single branch, so its overhead is below that noise by
+//! construction; the comparison makes the enabled-mode cost visible too.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,6 +44,19 @@ fn run(args: &Args, epochs: usize) -> ClsOutcome {
     train_node_classification(&pipe, &data, &tc, SEED)
 }
 
+/// Mean per-epoch milliseconds from the obs `train/epoch` span, falling
+/// back to the trainer's own wall-clock figure if the span is absent.
+fn epoch_ms(rep: &autoac_obs::ObsReport, out: &ClsOutcome) -> f64 {
+    match rep.span("train/epoch") {
+        Some(s) if s.count > 0 => s.total_ns as f64 / 1e6 / s.count as f64,
+        _ => 1e3 * out.seconds / out.epochs_run as f64,
+    }
+}
+
+fn metric_bits(out: &ClsOutcome) -> (u64, u64, usize) {
+    (out.macro_f1.to_bits(), out.micro_f1.to_bits(), out.epochs_run)
+}
+
 fn main() {
     let mut out_path = PathBuf::from("results/BENCH_alloc.json");
     let args = Args::parse_extra(|flag, value| match flag {
@@ -50,30 +72,57 @@ fn main() {
         args.scale, args.epochs
     );
 
-    // Phase 1: pool disabled (baseline). Warm up, then measure.
-    let (off, on, stats) = pool::with_pool(false, || {
-        run(&args, WARMUP_EPOCHS);
-        let off = run(&args, args.epochs);
+    // Measured phases read their epoch times from obs spans, so obs is
+    // force-enabled regardless of AUTOAC_OBS in the environment.
+    autoac_obs::set_force(Some(true));
 
-        // Phase 2: pool enabled. The warm-up populates the free lists; the
-        // stats reset afterwards makes the reported hit rate steady-state.
-        pool::with_pool(true, || {
-            run(&args, WARMUP_EPOCHS);
-            pool::reset_stats();
-            let on = run(&args, args.epochs);
-            (off, on, pool::stats())
-        })
+    // Phase 1: pool disabled (baseline). Warm up, drop the warm-up's spans,
+    // then measure.
+    let (off, rep_off) = pool::with_pool(false, || {
+        run(&args, WARMUP_EPOCHS);
+        let _ = autoac_obs::drain();
+        let out = run(&args, args.epochs);
+        (out, autoac_obs::drain())
     });
 
-    assert_eq!(
-        (off.macro_f1.to_bits(), off.micro_f1.to_bits(), off.epochs_run),
-        (on.macro_f1.to_bits(), on.micro_f1.to_bits(), on.epochs_run),
-        "pool-on and pool-off runs must produce bitwise-identical metrics"
-    );
+    // Phase 2: pool enabled. The warm-up populates the free lists; the
+    // stats reset afterwards makes the reported hit rate steady-state.
+    let (on, rep_on, stats) = pool::with_pool(true, || {
+        run(&args, WARMUP_EPOCHS);
+        let _ = pool::stats_reset();
+        let _ = autoac_obs::drain();
+        let out = run(&args, args.epochs);
+        (out, autoac_obs::drain(), pool::stats_snapshot())
+    });
 
-    let epoch_ms_off = 1e3 * off.seconds / off.epochs_run as f64;
-    let epoch_ms_on = 1e3 * on.seconds / on.epochs_run as f64;
+    // Phase 3: instrumentation cost. The same pooled run twice with obs
+    // force-disabled; their spread is the run-to-run noise floor that the
+    // enabled run is compared against.
+    autoac_obs::set_force(Some(false));
+    let (dis_a, dis_b) =
+        pool::with_pool(true, || (run(&args, args.epochs), run(&args, args.epochs)));
+    autoac_obs::set_force(None);
+
+    for (label, other) in [("pool-on", &on), ("obs-off A", &dis_a), ("obs-off B", &dis_b)] {
+        assert_eq!(
+            metric_bits(&off),
+            metric_bits(other),
+            "{label} run must produce bitwise-identical metrics to the baseline"
+        );
+    }
+
+    let epoch_ms_off = epoch_ms(&rep_off, &off);
+    let epoch_ms_on = epoch_ms(&rep_on, &on);
     let speedup_pct = 100.0 * (epoch_ms_off - epoch_ms_on) / epoch_ms_off;
+
+    // Overhead figures use the trainer's wall clock for all three pooled
+    // runs so enabled and disabled are timed by the same instrument.
+    let obs_on_ms = 1e3 * on.seconds / on.epochs_run as f64;
+    let dis_a_ms = 1e3 * dis_a.seconds / dis_a.epochs_run as f64;
+    let dis_b_ms = 1e3 * dis_b.seconds / dis_b.epochs_run as f64;
+    let dis_mean_ms = 0.5 * (dis_a_ms + dis_b_ms);
+    let obs_noise_pct = 100.0 * (dis_a_ms - dis_b_ms).abs() / dis_mean_ms;
+    let obs_overhead_pct = 100.0 * (obs_on_ms - dis_mean_ms) / dis_mean_ms;
 
     println!("  pool off: {:.1} ms/epoch over {} epochs", epoch_ms_off, off.epochs_run);
     println!("  pool on : {:.1} ms/epoch over {} epochs", epoch_ms_on, on.epochs_run);
@@ -85,13 +134,23 @@ fn main() {
         stats.misses,
         stats.bytes_recycled as f64 / (1024.0 * 1024.0)
     );
+    println!(
+        "  obs     : enabled {obs_on_ms:.1} ms/epoch vs disabled {dis_a_ms:.1}/{dis_b_ms:.1} \
+         ms/epoch (overhead {obs_overhead_pct:+.2}%, run-to-run noise {obs_noise_pct:.2}%)"
+    );
     println!("  metrics : macro-F1 {:.4}, micro-F1 {:.4} (bitwise identical)", on.macro_f1, on.micro_f1);
 
     let json = format!(
         "{{\n  \"dataset\": \"{DATASET}\",\n  \"scale\": \"{:?}\",\n  \"epochs\": {},\n  \
+         \"timer_source\": \"obs:train/epoch\",\n  \
          \"epoch_ms_pool_off\": {epoch_ms_off:.3},\n  \"epoch_ms_pool_on\": {epoch_ms_on:.3},\n  \
          \"speedup_pct\": {speedup_pct:.2},\n  \"pool_hit_rate\": {:.4},\n  \
          \"hits\": {},\n  \"misses\": {},\n  \"bytes_recycled\": {},\n  \
+         \"obs_enabled_epoch_ms\": {obs_on_ms:.3},\n  \
+         \"obs_disabled_epoch_ms_a\": {dis_a_ms:.3},\n  \
+         \"obs_disabled_epoch_ms_b\": {dis_b_ms:.3},\n  \
+         \"obs_overhead_pct\": {obs_overhead_pct:.3},\n  \
+         \"obs_noise_pct\": {obs_noise_pct:.3},\n  \
          \"macro_f1\": {:.6},\n  \"micro_f1\": {:.6},\n  \"bitwise_identical\": true\n}}\n",
         args.scale,
         on.epochs_run,

@@ -1,0 +1,129 @@
+//! Observability smoke target for `scripts/verify.sh`: runs one small
+//! AutoAC classification run (search + retrain) and writes a JSON digest
+//! of everything the obs layer must leave untouched — α bits, op
+//! assignment, the `L_GmoC` trace, and the test metrics. verify.sh runs it
+//! twice, with `AUTOAC_OBS=0` and `AUTOAC_OBS=1`, and diffs the digests:
+//! instrumentation that perturbs a single bit fails the pass.
+//!
+//! When obs is enabled the binary additionally exports the run's telemetry
+//! to `<obs-dir>/OBS_smoke.jsonl`, prints the span-tree report, and
+//! self-validates the export: every line must parse with the data crate's
+//! strict JSON parser, and the span tree and trajectory series the search
+//! loop promises must actually be present. Any miss panics, which verify.sh
+//! treats as failure.
+//!
+//! Extra flags beyond the shared harness set:
+//!
+//! ```text
+//! --out FILE       where to write the JSON digest       (default: stdout)
+//! --obs-dir DIR    where the OBS_smoke.jsonl export goes (default: results)
+//! ```
+
+use std::path::PathBuf;
+
+use autoac_bench::{autoac_cfg, gnn_cfg, Args};
+use autoac_core::{run_autoac_classification, Backbone};
+use autoac_data::json::{self, Value};
+
+fn main() {
+    let mut out_path: Option<PathBuf> = None;
+    let mut obs_dir = PathBuf::from("results");
+    let args = Args::parse_extra(|flag, value| match flag {
+        "--out" => {
+            out_path = Some(PathBuf::from(value));
+            true
+        }
+        "--obs-dir" => {
+            obs_dir = PathBuf::from(value);
+            true
+        }
+        _ => false,
+    });
+
+    let seed = 0;
+    let data = args.dataset("IMDB", seed);
+    let cfg = gnn_cfg(&data, Backbone::Gcn, false);
+    let ac = autoac_cfg(Backbone::Gcn, "IMDB", &args);
+    let run = run_autoac_classification(&data, Backbone::Gcn, &cfg, &ac, seed);
+
+    // The digest carries only bit-stable quantities, nothing
+    // timing-dependent, so obs-on and obs-off digests must be identical.
+    let ints = |xs: &[usize]| Value::Arr(xs.iter().map(|&x| Value::Num(x as f64)).collect());
+    let bits32 =
+        |xs: &[f32]| Value::Arr(xs.iter().map(|x| Value::Num(x.to_bits() as f64)).collect());
+    let bits64 = |x: f64| Value::Str(format!("{:016x}", x.to_bits()));
+    let digest = Value::Obj(vec![
+        ("assignment".into(), ints(&run.search.assignment.iter().map(|op| op.index()).collect::<Vec<_>>())),
+        ("alpha_bits".into(), bits32(run.search.alpha.data())),
+        ("gmoc_trace_bits".into(), bits32(&run.search.gmoc_trace)),
+        ("macro_f1_bits".into(), bits64(run.outcome.macro_f1)),
+        ("micro_f1_bits".into(), bits64(run.outcome.micro_f1)),
+        ("retrain_epochs".into(), Value::Num(run.outcome.epochs_run as f64)),
+    ]);
+    let text = json::to_string(&digest);
+    match &out_path {
+        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }),
+        None => println!("{text}"),
+    }
+
+    // With obs disabled the run is digest-only; enabled, export + validate.
+    let Some(rep) = autoac_obs::finish_to(&obs_dir, "smoke") else { return };
+    println!("{}", rep.render_tree());
+    validate(&rep, &obs_dir.join("OBS_smoke.jsonl"), ac.search_epochs);
+}
+
+/// Panics unless the report and its JSONL export carry everything the
+/// observability layer promises for a search + retrain run.
+fn validate(rep: &autoac_obs::ObsReport, jsonl: &std::path::Path, search_epochs: usize) {
+    for path in ["search", "search/epoch", "train", "train/epoch"] {
+        assert!(rep.span(path).is_some(), "span {path:?} missing from the report");
+    }
+    assert_eq!(rep.span("search").unwrap().count, 1, "exactly one search span");
+    assert_eq!(
+        rep.span("search/epoch").unwrap().count,
+        search_epochs as u64,
+        "one epoch span per search epoch"
+    );
+    assert!(
+        rep.spans.iter().any(|s| {
+            s.count > 0
+                && s.path.starts_with("search/epoch/")
+                && (s.path.ends_with("matmul") || s.path.ends_with("spmm"))
+        }),
+        "kernel spans must nest under the search epochs"
+    );
+    for name in ["alpha_entropy", "pool_hit_rate", "gmoc_loss"] {
+        assert!(
+            rep.events.iter().any(
+                |e| matches!(e, autoac_obs::Event::Series { name: n, .. } if *n == name)
+            ),
+            "trajectory series {name:?} missing from the report"
+        );
+    }
+
+    let text = std::fs::read_to_string(jsonl)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", jsonl.display()));
+    let mut lines = 0usize;
+    let mut types = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e}): {line}", i + 1));
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .unwrap_or_else(|| panic!("line {} lacks a type field", i + 1));
+        types.insert(ty.to_string());
+        lines += 1;
+    }
+    for required in ["meta", "span", "series", "counter"] {
+        assert!(types.contains(required), "no {required} records in {}", jsonl.display());
+    }
+    println!(
+        "obs_smoke: {} — {lines} lines valid, record types {:?}",
+        jsonl.display(),
+        types.iter().map(String::as_str).collect::<Vec<_>>()
+    );
+}

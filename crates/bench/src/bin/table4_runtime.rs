@@ -6,13 +6,27 @@
 //! reproduction target is the *structure*: HGNN-AC's pre-learning stage
 //! dominates its end-to-end cost, AutoAC has no pre-learning, and the
 //! speedup factor is large on the walk-heavy datasets.
+//!
+//! Phase timings come from the obs span tree (`prelearn`, `search`,
+//! `train`), force-enabled for the whole binary, not from per-run private
+//! timers; the outcome-struct seconds remain only as a fallback should a
+//! span be missing.
 
 use autoac_bench::{autoac_cfg, gnn_cfg, Args};
 use autoac_core::{
     run_autoac_classification, run_hgnnac_classification, Backbone, HgnnAcConfig,
 };
 
+/// Total seconds of the root span `path`, falling back to a privately
+/// timed figure when the span was not recorded.
+fn span_secs(rep: &autoac_obs::ObsReport, path: &str, fallback: f64) -> f64 {
+    rep.span_total_secs(path).unwrap_or(fallback)
+}
+
 fn main() {
+    // Timings for the table are read from obs spans regardless of
+    // AUTOAC_OBS in the environment.
+    autoac_obs::set_force(Some(true));
     let args = Args::parse();
     println!(
         "### Table IV — end-to-end runtime (seconds, scale {:?}, seed 0)",
@@ -27,7 +41,8 @@ fn main() {
             let data = args.dataset(dataset, 0);
             let cfg = gnn_cfg(&data, backbone, false);
 
-            let (prelearn, hgnnac_out) = run_hgnnac_classification(
+            let _ = autoac_obs::drain();
+            let (prelearn_fb, hgnnac_out) = run_hgnnac_classification(
                 &data,
                 backbone,
                 &cfg,
@@ -35,11 +50,17 @@ fn main() {
                 &args.train_cfg(),
                 0,
             );
-            let hgnnac_total = prelearn + hgnnac_out.seconds;
+            let rep = autoac_obs::drain();
+            let prelearn = span_secs(&rep, "prelearn", prelearn_fb);
+            let hgnnac_train = span_secs(&rep, "train", hgnnac_out.seconds);
+            let hgnnac_total = prelearn + hgnnac_train;
 
             let ac = autoac_cfg(backbone, dataset, &args);
             let run = run_autoac_classification(&data, backbone, &cfg, &ac, 0);
-            let autoac_total = run.search.search_seconds + run.outcome.seconds;
+            let rep = autoac_obs::drain();
+            let search = span_secs(&rep, "search", run.search.search_seconds);
+            let retrain = span_secs(&rep, "train", run.outcome.seconds);
+            let autoac_total = search + retrain;
 
             println!(
                 "| {:<8} | {:<18} | {:>9.1} | {:>7} | {:>12.1} | {:>8.1} | {:>8} |",
@@ -47,7 +68,7 @@ fn main() {
                 format!("{}-HGNNAC", backbone.name()),
                 prelearn,
                 "/",
-                hgnnac_out.seconds,
+                hgnnac_train,
                 hgnnac_total,
                 "/"
             );
@@ -56,8 +77,8 @@ fn main() {
                 dataset,
                 format!("{}-AutoAC", backbone.name()),
                 "/",
-                run.search.search_seconds,
-                run.outcome.seconds,
+                search,
+                retrain,
                 autoac_total,
                 hgnnac_total / autoac_total.max(1e-9)
             );

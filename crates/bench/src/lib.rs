@@ -123,6 +123,7 @@ impl Args {
     /// Loads a preset dataset at the configured scale.
     pub fn dataset(&self, name: &str, seed: u64) -> Dataset {
         let spec = presets::by_name(name).unwrap_or_else(|| {
+            // lint:allow(eprintln) — CLI-facing usage error, not library telemetry
             eprintln!("unknown dataset {name}");
             std::process::exit(2);
         });
@@ -131,6 +132,7 @@ impl Args {
 }
 
 fn usage(flag: &str) -> ! {
+    // lint:allow(eprintln) — CLI-facing usage error, not library telemetry
     eprintln!(
         "unexpected argument {flag}\nusage: --scale tiny|small|paper --seeds N --epochs N \
          --search-epochs N --checkpoint-dir DIR --checkpoint-every N --resume"

@@ -1,0 +1,15 @@
+//! Seeded lint fixture — NOT compiled into any crate. An obs-crate file
+//! that is *not* `span.rs` self-timing inside a loop: the instant rule's
+//! span-internals exemption must not leak to the rest of the crate.
+
+use std::time::Instant;
+
+pub fn seeded_timer_misuse(n: usize) -> u128 {
+    let mut total = 0;
+    for _ in 0..n {
+        // Violation (instant-in-kernel-loop): timing outside span.rs.
+        let t = Instant::now();
+        total += t.elapsed().as_nanos();
+    }
+    total
+}

@@ -1,0 +1,18 @@
+//! Seeded lint fixture — NOT compiled into any crate. Mirrors the obs span
+//! internals (`crates/obs/src/span.rs`), the one file where raw timing
+//! inside a loop is sanctioned, and the obs crate's `eprintln!` router.
+//! Nothing in this file may be flagged.
+
+use std::time::Instant;
+
+pub fn sanctioned_span_timing(names: &[&str]) -> u128 {
+    let mut total = 0;
+    for _ in names {
+        // Exempt: the span machinery is where timing lives by design.
+        let t = Instant::now();
+        total += t.elapsed().as_nanos();
+    }
+    // Exempt: the obs crate is the stderr router itself.
+    eprintln!("autoac-obs: fixture warn");
+    total
+}

@@ -17,6 +17,8 @@ pub fn seeded_uncovered_op(rows: usize, cols: usize) -> Matrix {
         let t = Instant::now();
         acc += t.elapsed().as_secs_f32();
     }
+    // Violation 4 (eprintln-in-lib): bare stderr diagnostic in library code.
+    eprintln!("seeded warning that should route through autoac_obs::warn");
     let _ = acc;
     m
 }

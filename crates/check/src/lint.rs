@@ -19,8 +19,14 @@
 //!   (binaries under `src/bin/` are application code and exempt). Library
 //!   failures must carry context via `expect` or propagate.
 //! - **instant-in-kernel-loop** — no `Instant::now` inside a loop in
-//!   `crates/tensor/src/`: timing calls inside kernel inner loops perturb
-//!   exactly the code being measured.
+//!   `crates/tensor/src/` or `crates/obs/src/`: timing calls inside kernel
+//!   inner loops perturb exactly the code being measured. The only
+//!   sanctioned home for raw timing is the span machinery itself
+//!   (`crates/obs/src/span.rs`), which is exempt.
+//! - **eprintln-in-lib** — no bare `eprintln!` in library crates: stderr
+//!   diagnostics must go through `autoac_obs::warn`, which prints the same
+//!   line *and* counts/exports it. The obs crate itself
+//!   (`crates/obs/src/`) is exempt — it is where the routing lives.
 //!
 //! A finding can be silenced with a `lint:allow(<rule>)` marker (in a
 //! comment) on the same or the preceding line; the allowlist is meant to be
@@ -35,6 +41,7 @@ const RULE_UNWRAP: &str = "unwrap-in-lib";
 const RULE_RAW_ALLOC: &str = "raw-alloc-in-hotpath";
 const RULE_INSTANT: &str = "instant-in-kernel-loop";
 const RULE_GRADCHECK: &str = "op-gradcheck-coverage";
+const RULE_EPRINTLN: &str = "eprintln-in-lib";
 
 /// Marker spellings accepted in `lint:allow(...)` (underscores allowed so
 /// the marker reads naturally in code comments).
@@ -49,6 +56,7 @@ fn allow_marker_matches(line: &str, rule: &str) -> bool {
             ("raw-alloc", RULE_RAW_ALLOC) => true,
             ("instant", RULE_INSTANT) => true,
             ("gradcheck", RULE_GRADCHECK) => true,
+            ("eprintln", RULE_EPRINTLN) => true,
             _ => false,
         }
 }
@@ -148,7 +156,8 @@ fn pub_fn_name(code: &str) -> Option<&str> {
 struct Scanner<'a> {
     path_display: String,
     is_hotpath: bool,
-    is_kernel_crate: bool,
+    is_timing_scope: bool,
+    is_obs_crate: bool,
     is_ops_file: bool,
     gradcheck_text: &'a str,
     /// Brace depth in stripped code.
@@ -204,7 +213,7 @@ impl Scanner<'_> {
                         .into(),
                 );
             }
-            if self.is_kernel_crate
+            if self.is_timing_scope
                 && !self.loop_depths.is_empty()
                 && code.contains("Instant::now")
                 && !self.allowed(raw, RULE_INSTANT)
@@ -213,7 +222,20 @@ impl Scanner<'_> {
                     RULE_INSTANT,
                     line_no,
                     "`Instant::now` inside a kernel loop perturbs the code being measured; \
-                     hoist timing out of the loop"
+                     hoist timing out of the loop (raw timing is sanctioned only inside \
+                     the obs span internals, crates/obs/src/span.rs)"
+                        .into(),
+                );
+            }
+            if !self.is_obs_crate
+                && code.contains("eprintln!")
+                && !self.allowed(raw, RULE_EPRINTLN)
+            {
+                self.diag(
+                    RULE_EPRINTLN,
+                    line_no,
+                    "bare `eprintln!` in library code; route it through `autoac_obs::warn` \
+                     so the message is also counted and exported"
                         .into(),
                 );
             }
@@ -297,7 +319,9 @@ pub fn scan_source(rel: &str, text: &str, gradcheck_text: &str) -> Report {
     let mut scanner = Scanner {
         path_display: rel.to_string(),
         is_hotpath: is_hotpath(rel),
-        is_kernel_crate: rel.contains("crates/tensor/src/"),
+        is_timing_scope: rel.contains("crates/tensor/src/")
+            || (rel.contains("crates/obs/src/") && !rel.ends_with("span.rs")),
+        is_obs_crate: rel.contains("crates/obs/src/"),
         is_ops_file: rel.contains("crates/tensor/src/ops/") && !rel.ends_with("mod.rs"),
         gradcheck_text,
         depth: 0,
@@ -426,6 +450,36 @@ mod tests {
         assert_eq!(scan_source("crates/tensor/src/matrix.rs", inside, "").diagnostics.len(), 1);
         assert_eq!(scan_source("crates/tensor/src/matrix.rs", outside, "").diagnostics.len(), 0);
         assert_eq!(scan_source("crates/core/src/trainer.rs", inside, "").diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn instant_rule_covers_obs_except_span_internals() {
+        let inside = "fn f() {\n    for i in 0..n {\n        let t = Instant::now();\n    }\n}\n";
+        assert_eq!(scan_source("crates/obs/src/hist.rs", inside, "").diagnostics.len(), 1);
+        assert_eq!(scan_source("crates/obs/src/span.rs", inside, "").diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn eprintln_flagged_in_lib_but_not_in_obs_tests_or_allows() {
+        let text = "\
+fn f() {
+    eprintln!(\"boom\");
+    eprintln!(\"fine\"); // lint:allow(eprintln) — CLI-facing usage text
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        eprintln!(\"test-only\");
+    }
+}
+";
+        let report = scan_source("crates/core/src/search.rs", text, "");
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].rule, RULE_EPRINTLN);
+        assert_eq!(report.diagnostics[0].location, "crates/core/src/search.rs:2");
+        // The obs crate is the router and therefore exempt.
+        assert_eq!(scan_source("crates/obs/src/metrics.rs", text, "").diagnostics.len(), 0);
     }
 
     #[test]

@@ -15,14 +15,14 @@ fn repo_root() -> PathBuf {
 }
 
 #[test]
-fn fixture_tree_trips_every_rule_exactly_once() {
+fn fixture_tree_trips_every_rule_and_honors_obs_exemptions() {
     let report = lint::lint_root(&fixtures_root());
     let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
     for rule in [
         "unwrap-in-lib",
         "raw-alloc-in-hotpath",
-        "instant-in-kernel-loop",
         "op-gradcheck-coverage",
+        "eprintln-in-lib",
     ] {
         assert_eq!(
             rules.iter().filter(|r| **r == rule).count(),
@@ -31,12 +31,24 @@ fn fixture_tree_trips_every_rule_exactly_once() {
             report.render()
         );
     }
-    assert_eq!(report.diagnostics.len(), 4, "{}", report.render());
-    // Every finding is anchored to the seeded file with a line number.
+    // The instant rule fires twice: once in the tensor ops fixture, once in
+    // the obs crate *outside* span.rs (the span-internals exemption must not
+    // cover the rest of the crate).
+    assert_eq!(
+        rules.iter().filter(|r| **r == "instant-in-kernel-loop").count(),
+        2,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.diagnostics.len(), 6, "{}", report.render());
+    // Every finding is anchored to a seeded file with a line number; the
+    // sanctioned fixtures/crates/obs/src/span.rs stays silent despite
+    // containing both an in-loop Instant::now and an eprintln!.
     for d in &report.diagnostics {
         assert!(d.analysis == Analysis::Lint);
         assert!(
-            d.location.starts_with("crates/tensor/src/ops/seeded.rs:"),
+            d.location.starts_with("crates/tensor/src/ops/seeded.rs:")
+                || d.location.starts_with("crates/obs/src/seeded_timer.rs:"),
             "bad location {}",
             d.location
         );

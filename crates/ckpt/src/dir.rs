@@ -77,17 +77,22 @@ impl CheckpointDir {
     }
 
     /// Loads the newest readable snapshot, falling back past corrupted or
-    /// truncated files (each skip is reported on stderr). `None` if no
-    /// snapshot can be read.
+    /// truncated files (each skip is warned about on stderr and counted
+    /// under the obs `ckpt_read_fallbacks` counter). `None` if no snapshot
+    /// can be read.
     pub fn load_latest(&self) -> Option<(usize, Snapshot)> {
         for (epoch, path) in self.list().into_iter().rev() {
             match Snapshot::read(&path) {
                 Ok(snap) => return Some((epoch, snap)),
                 Err(err) => {
-                    eprintln!(
-                        "autoac-ckpt: skipping snapshot {} ({err}); falling back to the \
-                         previous retained snapshot",
-                        path.display()
+                    autoac_obs::counter_add("ckpt_read_fallbacks", 1);
+                    autoac_obs::warn(
+                        "ckpt",
+                        &format!(
+                            "skipping snapshot {} ({err}); falling back to the previous \
+                             retained snapshot",
+                            path.display()
+                        ),
                     );
                 }
             }

@@ -232,7 +232,10 @@ pub fn run_hgnnac_classification(
 ) -> (f64, ClsOutcome) {
     let mut rng = StdRng::seed_from_u64(seed);
     let start = Instant::now();
-    let topo = train_topo_embeddings(data, hc, &mut rng);
+    let topo = {
+        let _obs = autoac_obs::span("prelearn");
+        train_topo_embeddings(data, hc, &mut rng)
+    };
     let prelearn_seconds = start.elapsed().as_secs_f64();
     let pipe = HgnnAcPipe::new(data, backbone, gnn_cfg, &topo, &mut rng);
     let outcome = train_node_classification(&pipe, data, train, seed ^ 0xac);

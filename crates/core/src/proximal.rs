@@ -7,6 +7,7 @@ use autoac_tensor::Matrix;
 /// `prox_C1`: row-wise projection onto one-hot vectors — keeps each row's
 /// maximum entry as 1, zeroing the rest (ties break to the lowest index).
 pub fn prox_c1(alpha: &Matrix) -> Matrix {
+    let _obs = autoac_obs::span("prox_c1");
     let mut out = Matrix::zeros(alpha.rows(), alpha.cols());
     for r in 0..alpha.rows() {
         out.set(r, alpha.argmax_row(r), 1.0);
@@ -16,6 +17,7 @@ pub fn prox_c1(alpha: &Matrix) -> Matrix {
 
 /// `prox_C2`: elementwise clamp onto `[0, 1]`.
 pub fn prox_c2(alpha: &Matrix) -> Matrix {
+    let _obs = autoac_obs::span("prox_c2");
     alpha.map(|v| v.clamp(0.0, 1.0))
 }
 

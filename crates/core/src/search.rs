@@ -349,11 +349,14 @@ pub fn search_checkpointed(
     }
 
     let start = Instant::now();
+    let _obs_search = autoac_obs::span("search");
     for epoch in start_epoch..ac.search_epochs {
+        let _obs_epoch = autoac_obs::span("epoch");
         // ------- Upper level: update α on the validation loss -----------
         alpha_opt.zero_grad();
         omega_opt.zero_grad(); // the α backward also touches ω; discard
         if epoch >= ac.omega_warmup {
+            let _obs = autoac_obs::span("alpha");
             let x0 = pipe.x0();
             let (weights_tensor, grad_target) = if ac.discrete {
                 // Alg. 1 line 3: discrete ᾱ = prox_C1(α); gradient taken
@@ -369,6 +372,7 @@ pub fn search_checkpointed(
             let fwd = pipe.model.forward(&x, true, &mut rng);
             let loss = task.val_loss(&fwd.output, &mut rng);
             let val = loss.item();
+            autoac_obs::series("search_val_loss", epoch as u64, val as f64);
             if val < best_val {
                 best_val = val;
                 best_snapshot = Some((alpha.to_matrix(), cluster_of.clone()));
@@ -393,6 +397,7 @@ pub fn search_checkpointed(
         omega_opt.zero_grad();
         alpha.zero_grad();
         let hidden = {
+            let _obs = autoac_obs::span("omega");
             let x0 = pipe.x0();
             let x = if ac.discrete {
                 // Alg. 1 lines 5–6: refined discrete choices; only
@@ -408,38 +413,58 @@ pub fn search_checkpointed(
             if matches!(ac.clustering, ClusteringMode::GmoC) {
                 let c = head.assign_soft(&fwd.hidden);
                 let gmoc = modularity.loss(&c);
-                gmoc_trace.push(gmoc.item());
+                let gmoc_item = gmoc.item();
+                gmoc_trace.push(gmoc_item);
+                autoac_obs::series("gmoc_loss", epoch as u64, gmoc_item as f64);
                 loss = loss.add(&gmoc.scale(ac.lambda));
             }
             autoac_check::tape::verify_backward_if_enabled(&loss);
             loss.backward();
-            omega_opt.clip_grad_norm(5.0);
+            let grad_norm = omega_opt.clip_grad_norm(5.0);
+            autoac_obs::series("omega_grad_norm", epoch as u64, grad_norm as f64);
             omega_opt.step();
             fwd.hidden
         };
 
         // ------- Refresh the node → cluster map --------------------------
-        match ac.clustering {
-            ClusteringMode::GmoC => {
-                let hm = autoac_tensor::no_grad(|| {
-                    head.assign_hard(&hidden.gather_rows(&missing))
-                });
-                cluster_of = hm;
-            }
-            ClusteringMode::Em => {
-                cluster_of = kmeans_missing(&hidden, &missing, ac.clusters, &mut rng);
-            }
-            ClusteringMode::EmWarmup(warmup) => {
-                if epoch >= warmup {
+        {
+            let _obs = autoac_obs::span("cluster");
+            match ac.clustering {
+                ClusteringMode::GmoC => {
+                    let hm = autoac_tensor::no_grad(|| {
+                        head.assign_hard(&hidden.gather_rows(&missing))
+                    });
+                    cluster_of = hm;
+                }
+                ClusteringMode::Em => {
                     cluster_of = kmeans_missing(&hidden, &missing, ac.clusters, &mut rng);
                 }
+                ClusteringMode::EmWarmup(warmup) => {
+                    if epoch >= warmup {
+                        cluster_of = kmeans_missing(&hidden, &missing, ac.clusters, &mut rng);
+                    }
+                }
+                ClusteringMode::NoCluster => {}
             }
-            ClusteringMode::NoCluster => {}
+        }
+
+        // ------- Search-trajectory recording (Fig. 4/5 data) --------------
+        // Read-only w.r.t. RNG and parameters: training stays bitwise
+        // identical with obs on or off.
+        if autoac_obs::enabled() {
+            autoac_obs::series_vec(
+                "alpha_entropy",
+                epoch as u64,
+                &alpha_row_entropies(&alpha.value()),
+            );
+            let pool = autoac_tensor::pool::stats_snapshot();
+            autoac_obs::series("pool_hit_rate", epoch as u64, pool.hit_rate());
         }
 
         // ------- Snapshot the completed epoch -----------------------------
         if let Some(pol) = policy {
             if pol.should_checkpoint(epoch + 1) {
+                let _obs = autoac_obs::span("ckpt");
                 let state = SearchState {
                     meta: meta.clone(),
                     epochs_done: (epoch + 1) as u64,
@@ -454,9 +479,22 @@ pub fn search_checkpointed(
                     best: best_snapshot.clone(),
                     gmoc_trace: gmoc_trace.clone(),
                 };
-                if let Err(e) = pol.save(epoch + 1, &state.to_snapshot()) {
-                    // A failed snapshot must not kill a healthy run.
-                    eprintln!("autoac-ckpt: failed to write search snapshot: {e}");
+                let write_start = Instant::now();
+                match pol.save(epoch + 1, &state.to_snapshot()) {
+                    Ok(_) => autoac_obs::hist_record(
+                        "ckpt_write_ns",
+                        write_start.elapsed().as_nanos() as f64,
+                    ),
+                    Err(e) => {
+                        // A failed snapshot must not kill a healthy run,
+                        // but it must be visible in the run summary, not
+                        // just on stderr.
+                        autoac_obs::counter_add("ckpt_write_failures", 1);
+                        autoac_obs::warn(
+                            "ckpt",
+                            &format!("failed to write search snapshot: {e}"),
+                        );
+                    }
                 }
             }
             pol.throttle();
@@ -493,6 +531,31 @@ fn kmeans_missing(
         let rows = hidden.value().gather_rows(missing);
         kmeans(&rows, k, 20, rng)
     })
+}
+
+/// Per-row Shannon entropy (nats) of the α matrix, one value per cluster —
+/// the Fig. 4-style convergence signal: entropy falling toward 0 means the
+/// cluster has committed to one completion op. Rows are normalized to a
+/// distribution first (α lives in the C₂ box, not on the simplex); an
+/// all-zero row reports the uniform-distribution entropy.
+fn alpha_row_entropies(alpha: &Matrix) -> Vec<f64> {
+    let (rows, cols) = alpha.shape();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = alpha.row(r);
+        let sum: f64 = row.iter().map(|&v| f64::from(v.max(0.0))).sum();
+        let h = if sum <= 0.0 {
+            (cols as f64).ln()
+        } else {
+            -row.iter()
+                .map(|&v| f64::from(v.max(0.0)) / sum)
+                .filter(|&p| p > 0.0)
+                .map(|p| p * p.ln())
+                .sum::<f64>()
+        };
+        out.push(h);
+    }
+    out
 }
 
 /// Derives per-`V⁻`-node ops: each node takes the argmax op of its α row.

@@ -153,6 +153,7 @@ pub fn train_node_classification_checkpointed(
     }
 
     let start = Instant::now();
+    let _obs_train = autoac_obs::span("train");
     let mut epochs_run = start_epoch;
     for epoch in start_epoch..cfg.epochs {
         // The patience check sits at the loop top (rather than breaking
@@ -163,16 +164,26 @@ pub fn train_node_classification_checkpointed(
         if bad_epochs > 0 && bad_epochs >= cfg.patience {
             break;
         }
+        let _obs_epoch = autoac_obs::span("epoch");
         epochs_run = epoch + 1;
         opt.zero_grad();
         let fwd = pipe.forward(true, &mut rng);
         let loss = fwd.output.cross_entropy_rows(&labels, &data.split.train);
         autoac_check::tape::verify_backward_if_enabled(&loss);
+        if autoac_obs::enabled() {
+            // item() re-reads the already-computed scalar; no extra math.
+            autoac_obs::series("train_loss", epoch as u64, f64::from(loss.item()));
+        }
         loss.backward();
         opt.clip_grad_norm(5.0);
         opt.step();
 
-        let val = eval_classification(pipe, data, &data.split.val, &mut rng).micro_f1;
+        let scores = eval_classification(pipe, data, &data.split.val, &mut rng);
+        if autoac_obs::enabled() {
+            autoac_obs::series("val_micro_f1", epoch as u64, scores.micro_f1);
+            autoac_obs::series("val_macro_f1", epoch as u64, scores.macro_f1);
+        }
+        let val = scores.micro_f1;
         if val > best_val {
             best_val = val;
             best_snap = snapshot(&params);
@@ -194,17 +205,34 @@ pub fn train_node_classification_checkpointed(
                     best_snap: best_snap.clone(),
                     bad_epochs: bad_epochs as u64,
                 };
-                if let Err(e) = pol.save(epoch + 1, &state.to_snapshot()) {
-                    eprintln!("autoac-ckpt: failed to write training snapshot: {e}");
-                }
+                save_train_snapshot(pol, epoch + 1, &state.to_snapshot());
             }
             pol.throttle();
         }
     }
+    drop(_obs_train);
     restore(&params, &best_snap);
     let seconds = elapsed_prior + start.elapsed().as_secs_f64();
     let test = eval_classification(pipe, data, &data.split.test, &mut rng);
     ClsOutcome { macro_f1: test.macro_f1, micro_f1: test.micro_f1, seconds, epochs_run }
+}
+
+/// Writes one training snapshot under an obs `ckpt` span, recording the
+/// write latency; a failure is counted and warned about (visible in the
+/// run summary), never fatal — a failed snapshot must not kill a healthy
+/// run.
+fn save_train_snapshot(pol: &CheckpointPolicy, epochs_done: usize, snap: &autoac_ckpt::Snapshot) {
+    let _obs = autoac_obs::span("ckpt");
+    let write_start = Instant::now();
+    match pol.save(epochs_done, snap) {
+        Ok(_) => {
+            autoac_obs::hist_record("ckpt_write_ns", write_start.elapsed().as_nanos() as f64);
+        }
+        Err(e) => {
+            autoac_obs::counter_add("ckpt_write_failures", 1);
+            autoac_obs::warn("ckpt", &format!("failed to write training snapshot: {e}"));
+        }
+    }
 }
 
 /// Loads and validates the latest training snapshot under `pol`, panicking
@@ -315,6 +343,7 @@ pub fn train_link_prediction_checkpointed(
     }
 
     let start = Instant::now();
+    let _obs_train = autoac_obs::span("train");
     let mut epochs_run = start_epoch;
     for epoch in start_epoch..cfg.epochs {
         // Same top-of-loop patience check as the classification trainer, so
@@ -322,6 +351,7 @@ pub fn train_link_prediction_checkpointed(
         if bad_epochs > 0 && bad_epochs >= cfg.patience {
             break;
         }
+        let _obs_epoch = autoac_obs::span("epoch");
         epochs_run = epoch + 1;
         let negs = autoac_data::sample_train_negatives(
             data,
@@ -333,11 +363,17 @@ pub fn train_link_prediction_checkpointed(
         let fwd = pipe.forward(true, &mut rng);
         let loss = autoac_nn::lp::lp_loss(&fwd.output, train_pos, &negs);
         autoac_check::tape::verify_backward_if_enabled(&loss);
+        if autoac_obs::enabled() {
+            autoac_obs::series("train_loss", epoch as u64, f64::from(loss.item()));
+        }
         loss.backward();
         opt.clip_grad_norm(5.0);
         opt.step();
 
         let val = eval_link_prediction(pipe, val_pos, &val_neg, &mut rng).0;
+        if autoac_obs::enabled() {
+            autoac_obs::series("val_auc", epoch as u64, val);
+        }
         if val > best_val {
             best_val = val;
             best_snap = snapshot(&params);
@@ -359,13 +395,12 @@ pub fn train_link_prediction_checkpointed(
                     best_snap: best_snap.clone(),
                     bad_epochs: bad_epochs as u64,
                 };
-                if let Err(e) = pol.save(epoch + 1, &state.to_snapshot()) {
-                    eprintln!("autoac-ckpt: failed to write training snapshot: {e}");
-                }
+                save_train_snapshot(pol, epoch + 1, &state.to_snapshot());
             }
             pol.throttle();
         }
     }
+    drop(_obs_train);
     restore(&params, &best_snap);
     let seconds = elapsed_prior + start.elapsed().as_secs_f64();
     let (auc, m) = eval_link_prediction(pipe, &split.test_pos, &split.test_neg, &mut rng);

@@ -145,9 +145,12 @@ impl OpCache {
         };
         if let Some(hit) = self.entries.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            autoac_obs::counter_add("opcache_hits", 1);
             return Rc::clone(hit);
         }
         self.misses.set(self.misses.get() + 1);
+        autoac_obs::counter_add("opcache_misses", 1);
+        let _obs = autoac_obs::span("opcache_build");
         let built = if transposed {
             Rc::new(self.fetch(g, op, mask, rows, false).transpose())
         } else if let Some(rows) = rows {

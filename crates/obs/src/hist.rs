@@ -1,0 +1,163 @@
+//! Log-scaled histograms with exact count/sum/min/max.
+//!
+//! Buckets are powers of two: bucket 0 holds everything below 1.0
+//! (durations are non-negative, but the bucket formally covers
+//! `(-inf, 1)` so *every* recorded value lands in exactly one bucket),
+//! bucket `i` for `1 <= i < 63` holds `[2^(i-1), 2^i)`, and bucket 63 is
+//! the overflow bucket `[2^62, +inf]`. 63 doublings above 1 ns is ~146
+//! years, so nanosecond latencies never saturate.
+//!
+//! The bucket index is computed from the IEEE-754 exponent bits rather
+//! than `f64::log2`, so boundary values (exact powers of two) classify
+//! exactly — `log2(8.0)` returning `2.9999999999999996` would otherwise
+//! put `8.0` in the wrong bucket.
+
+/// Number of histogram buckets.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Index of the bucket that `v` falls into. Total over all finite inputs:
+/// every value lands in exactly one bucket (NaN is clamped into bucket 0).
+pub fn bucket_index(v: f64) -> usize {
+    if !(v >= 1.0) {
+        // Covers v < 1, negatives, and NaN (all comparisons with NaN fail).
+        return 0;
+    }
+    if v.is_infinite() {
+        return NUM_BUCKETS - 1;
+    }
+    // For finite v >= 1.0 the value is a normal float, so the unbiased
+    // exponent e satisfies 2^e <= v < 2^(e+1), i.e. floor(log2 v) == e.
+    let e = ((v.to_bits() >> 52) & 0x7ff) as usize - 1023;
+    (e + 1).min(NUM_BUCKETS - 1)
+}
+
+/// Half-open bounds `[lo, hi)` of bucket `i` (the last bucket's `hi` is
+/// `+inf`, and it also admits `+inf` itself; bucket 0's `lo` is `-inf`).
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (f64::NEG_INFINITY, 1.0)
+    } else {
+        let lo = (2f64).powi(i as i32 - 1);
+        let hi = if i == NUM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (2f64).powi(i as i32)
+        };
+        (lo, hi)
+    }
+}
+
+/// A log-bucketed histogram. Buckets answer "what order of magnitude",
+/// while `min`/`max`/`sum`/`count` stay exact so the mean and extremes
+/// are not quantized.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values (NaN inputs are recorded as 0.0).
+    pub sum: f64,
+    /// Smallest recorded value; `+inf` when empty.
+    pub min: f64,
+    /// Largest recorded value; `-inf` when empty.
+    pub max: f64,
+    /// Per-bucket counts, indexed by [`bucket_index`].
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_nan() { 0.0 } else { v };
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_powers_of_two_sit_at_bucket_lower_bounds() {
+        // 2^(i-1) is the inclusive lower bound of bucket i.
+        for i in 1..NUM_BUCKETS {
+            let lo = (2f64).powi(i as i32 - 1);
+            assert_eq!(bucket_index(lo), i, "2^{} must open bucket {i}", i - 1);
+            // The value just below the bound belongs to the previous bucket.
+            let below = f64::from_bits(lo.to_bits() - 1);
+            assert_eq!(bucket_index(below), i - 1, "pred(2^{}) in bucket {}", i - 1, i - 1);
+        }
+    }
+
+    #[test]
+    fn sub_one_negative_and_nan_land_in_bucket_zero() {
+        for v in [0.0, 0.5, 0.999_999_999, -1.0, -1e300, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(bucket_index(v), 0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn huge_values_land_in_overflow_bucket() {
+        for v in [(2f64).powi(62), (2f64).powi(100), f64::MAX, f64::INFINITY] {
+            assert_eq!(bucket_index(v), NUM_BUCKETS - 1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_count_sum_min_max() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 10.0, 0.25] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 14.25);
+        assert_eq!(h.min, 0.25);
+        assert_eq!(h.max, 10.0);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(h.buckets[0], 1); // 0.25
+        assert_eq!(h.buckets[1], 1); // 1.0 in [1,2)
+        assert_eq!(h.buckets[2], 1); // 3.0 in [2,4)
+        assert_eq!(h.buckets[4], 1); // 10.0 in [8,16)
+        assert!((h.mean() - 14.25 / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nan_does_not_poison_min_max_sum() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(2.0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 2.0);
+        assert_eq!(h.sum, 2.0);
+    }
+}

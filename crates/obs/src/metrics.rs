@@ -1,0 +1,196 @@
+//! Metrics registry (counters / gauges / histograms) and the event buffer
+//! (time series + warnings).
+//!
+//! Counters, gauges and histograms are *registry* state: name-keyed,
+//! aggregated in place, exported once at drain. Series points and warnings
+//! are *events*: they carry a step/timestamp and are buffered per thread
+//! (in the span module's thread state, so one flush path covers both),
+//! then ordered by timestamp in the JSONL output.
+//!
+//! Every recording function is a no-op behind a single [`enabled`] branch
+//! — except [`warn`], which always prints to stderr (a dropped checkpoint
+//! must be visible even with obs off) and only the *counting* is gated.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::env::enabled;
+use crate::hist::Histogram;
+use crate::span::{now_ns, push_event};
+
+/// A buffered observability event.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// One step of a named time series (e.g. per-epoch validation loss).
+    /// Multi-valued steps carry one entry per cluster / class / etc.
+    Series {
+        /// Series name, e.g. `alpha_entropy`.
+        name: &'static str,
+        /// Step index (epoch number for training series).
+        step: u64,
+        /// Values recorded at this step.
+        values: Vec<f64>,
+        /// Nanoseconds since process obs start, for cross-thread ordering.
+        ts_ns: u64,
+    },
+    /// A counted warning (also printed to stderr at emit time).
+    Warn {
+        /// Subsystem tag, e.g. `ckpt`.
+        tag: &'static str,
+        /// Human-readable message.
+        msg: String,
+        /// Nanoseconds since process obs start.
+        ts_ns: u64,
+    },
+}
+
+impl Event {
+    /// Timestamp used to order events in the JSONL output.
+    pub fn ts_ns(&self) -> u64 {
+        match self {
+            Event::Series { ts_ns, .. } | Event::Warn { ts_ns, .. } => *ts_ns,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, f64>,
+    pub(crate) hists: BTreeMap<&'static str, Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Empties the registry, returning its contents (drain-time helper).
+pub(crate) fn take_registry() -> Registry {
+    std::mem::take(&mut *registry())
+}
+
+/// Adds `n` to the counter `name`. Counters only go up between drains.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    *registry().counters.entry(name).or_insert(0) += n;
+}
+
+/// Sets the gauge `name` to `v` (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().gauges.insert(name, v);
+}
+
+/// Records `v` into the histogram `name`.
+#[inline]
+pub fn hist_record(name: &'static str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().hists.entry(name).or_default().record(v);
+}
+
+/// Records a single-valued time-series point.
+#[inline]
+pub fn series(name: &'static str, step: u64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    push_event(Event::Series { name, step, values: vec![value], ts_ns: now_ns() });
+}
+
+/// Records a multi-valued time-series point (one value per cluster, class,
+/// …) — the shape of the Fig. 4/5 trajectory data.
+#[inline]
+pub fn series_vec(name: &'static str, step: u64, values: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    push_event(Event::Series { name, step, values: values.to_vec(), ts_ns: now_ns() });
+}
+
+/// Emits a warning: always printed to stderr (this is the sanctioned
+/// routing for what used to be bare `eprintln!` in library crates — the
+/// `eprintln-in-lib` lint points here), and, when obs is enabled,
+/// additionally buffered as a [`Event::Warn`] and counted under
+/// `warnings_total` so run summaries surface it.
+pub fn warn(tag: &'static str, msg: &str) {
+    eprintln!("autoac-{tag}: {msg}");
+    if !enabled() {
+        return;
+    }
+    *registry().counters.entry("warnings_total").or_insert(0) += 1;
+    push_event(Event::Warn { tag, msg: msg.to_string(), ts_ns: now_ns() });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::with_obs;
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        with_obs(false, || {
+            counter_add("c", 5);
+            gauge_set("g", 1.0);
+            hist_record("h", 2.0);
+            series("s", 0, 1.0);
+        });
+        let rep = crate::drain();
+        assert_eq!(rep.counter("c"), 0);
+        assert!(rep.gauges.is_empty() && rep.hists.is_empty() && rep.events.is_empty());
+    }
+
+    #[test]
+    fn registry_aggregates_and_drains() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        with_obs(true, || {
+            counter_add("hits", 2);
+            counter_add("hits", 3);
+            gauge_set("rate", 0.25);
+            gauge_set("rate", 0.75);
+            hist_record("lat", 3.0);
+            series_vec("ent", 7, &[0.1, 0.2]);
+        });
+        let rep = crate::drain();
+        assert_eq!(rep.counter("hits"), 5);
+        assert_eq!(rep.gauges.get("rate"), Some(&0.75));
+        let h = rep.hists.get("lat").expect("histogram present");
+        assert_eq!((h.count, h.min, h.max), (1, 3.0, 3.0));
+        match &rep.events[..] {
+            [Event::Series { name, step, values, .. }] => {
+                assert_eq!((*name, *step), ("ent", 7));
+                assert_eq!(values, &[0.1, 0.2]);
+            }
+            other => panic!("expected one series event, got {other:?}"),
+        }
+        // Second drain is empty: drain removes what it returns.
+        let rep2 = crate::drain();
+        assert_eq!(rep2.counter("hits"), 0);
+        assert!(rep2.events.is_empty());
+    }
+
+    #[test]
+    fn warn_counts_only_when_enabled() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        with_obs(false, || warn("test", "invisible to the registry"));
+        with_obs(true, || warn("test", "counted"));
+        let rep = crate::drain();
+        assert_eq!(rep.counter("warnings_total"), 1);
+        assert_eq!(rep.events.len(), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Drained-state report and the three exporters: JSONL event sink,
+//! human span-tree rendering, and a Prometheus text snapshot.
+//!
+//! The JSON written here is deliberately minimal and self-contained
+//! (string escaping + finite-number formatting) because obs sits *below*
+//! `autoac-data` in the dependency graph and cannot use its JSON module;
+//! the consuming side (`obs_smoke`, core's integration tests, verify.sh)
+//! parses the emitted lines with `autoac_data::json::parse` to prove the
+//! two implementations agree.
+//!
+//! JSONL schema (one object per line, `"type"` discriminates):
+//!
+//! | type      | fields                                                   |
+//! |-----------|----------------------------------------------------------|
+//! | `meta`    | `run`, `schema` (currently 1)                            |
+//! | `span`    | `path`, `depth`, `count`, `total_ns`, `self_ns`          |
+//! | `series`  | `name`, `step`, `values` (array), `ts_ns`                |
+//! | `warn`    | `tag`, `msg`, `ts_ns`                                    |
+//! | `counter` | `name`, `value`                                          |
+//! | `gauge`   | `name`, `value`                                          |
+//! | `hist`    | `name`, `count`, `min`, `max`, `sum`, `buckets` (array of `[index, lo, hi, count]`, non-empty buckets only) |
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::hist::{bucket_bounds, Histogram, NUM_BUCKETS};
+use crate::metrics::Event;
+
+/// Aggregated timing for one distinct span path.
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    /// Slash-joined path from the root, e.g. `search/epoch/omega/matmul`.
+    pub path: String,
+    /// Leaf name (last path segment).
+    pub name: &'static str,
+    /// Nesting depth (root children have depth 0).
+    pub depth: usize,
+    /// How many times a span at this path was opened and closed.
+    pub count: u64,
+    /// Total wall time spent inside, children included.
+    pub total_ns: u64,
+    /// Total minus time attributed to child spans (saturating: child time
+    /// recorded on worker threads can exceed the parent's wall time).
+    pub self_ns: u64,
+}
+
+/// Everything one [`drain`](crate::drain) returns: span statistics in
+/// pre-order, ordered events, and the metrics registry contents.
+#[derive(Debug, Default)]
+pub struct ObsReport {
+    /// Span statistics, pre-order (parents before children).
+    pub spans: Vec<SpanStat>,
+    /// Series points and warnings, ordered by timestamp.
+    pub events: Vec<Event>,
+    /// Final counter values.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Final histograms.
+    pub hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl ObsReport {
+    /// The span stat at exactly `path`, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Total seconds spent under `path`, if recorded.
+    pub fn span_total_secs(&self, path: &str) -> Option<f64> {
+        self.span(path).map(|s| s.total_ns as f64 / 1e9)
+    }
+
+    /// Counter value, 0 when never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.events.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// Renders the human span tree: indentation mirrors nesting, with
+    /// total time, self time, call count, and mean per call per row.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::from(
+            "span tree                                 total ms    self ms      count    ms/call\n",
+        );
+        if self.spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+            return out;
+        }
+        for s in &self.spans {
+            let label = format!("{}{}", "  ".repeat(s.depth + 1), s.name);
+            let total_ms = s.total_ns as f64 / 1e6;
+            let self_ms = s.self_ns as f64 / 1e6;
+            let per_call = if s.count > 0 { total_ms / s.count as f64 } else { 0.0 };
+            out.push_str(&format!(
+                "{label:<40} {total_ms:>10.3} {self_ms:>10.3} {:>10} {per_call:>10.4}\n",
+                s.count
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as JSONL (see the module docs for the schema).
+    pub fn to_jsonl(&self, run: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"type\":\"meta\",\"run\":{},\"schema\":1}}\n", jstr(run)));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"path\":{},\"depth\":{},\"count\":{},\"total_ns\":{},\"self_ns\":{}}}\n",
+                jstr(&s.path), s.depth, s.count, s.total_ns, s.self_ns
+            ));
+        }
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{v}}}\n",
+                jstr(name)
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                jstr(name),
+                jnum(*v)
+            ));
+        }
+        for (name, h) in &self.hists {
+            let mut buckets = String::from("[");
+            for i in 0..NUM_BUCKETS {
+                if h.buckets[i] == 0 {
+                    continue;
+                }
+                let (lo, hi) = bucket_bounds(i);
+                if buckets.len() > 1 {
+                    buckets.push(',');
+                }
+                buckets.push_str(&format!("[{i},{},{},{}]", jnum(lo), jnum(hi), h.buckets[i]));
+            }
+            buckets.push(']');
+            out.push_str(&format!(
+                "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":{buckets}}}\n",
+                jstr(name), h.count, jnum(h.min), jnum(h.max), jnum(h.sum)
+            ));
+        }
+        for ev in &self.events {
+            match ev {
+                Event::Series { name, step, values, ts_ns } => {
+                    let mut vals = String::from("[");
+                    for (i, v) in values.iter().enumerate() {
+                        if i > 0 {
+                            vals.push(',');
+                        }
+                        vals.push_str(&jnum(*v));
+                    }
+                    vals.push(']');
+                    out.push_str(&format!(
+                        "{{\"type\":\"series\",\"name\":{},\"step\":{step},\"values\":{vals},\"ts_ns\":{ts_ns}}}\n",
+                        jstr(name)
+                    ));
+                }
+                Event::Warn { tag, msg, ts_ns } => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"warn\",\"tag\":{},\"msg\":{},\"ts_ns\":{ts_ns}}}\n",
+                        jstr(tag),
+                        jstr(msg)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the JSONL serialization to `path` (creating parent
+    /// directories), returning the path written.
+    pub fn write_jsonl(&self, path: &Path, run: &str) -> std::io::Result<PathBuf> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl(run).as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+
+    /// Prometheus text-format snapshot of the registry (counters, gauges,
+    /// histograms with cumulative `le` buckets) plus span totals as
+    /// counters. Metric names are prefixed `autoac_` and sanitized.
+    pub fn prom_dump(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE autoac_{n} counter\nautoac_{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE autoac_{n} gauge\nautoac_{n} {}\n", jnum(*v)));
+        }
+        for (name, h) in &self.hists {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE autoac_{n} histogram\n"));
+            let mut cum = 0u64;
+            for i in 0..NUM_BUCKETS {
+                if h.buckets[i] == 0 {
+                    continue;
+                }
+                cum += h.buckets[i];
+                let (_, hi) = bucket_bounds(i);
+                let le = if hi.is_infinite() { "+Inf".to_string() } else { jnum(hi) };
+                out.push_str(&format!("autoac_{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("autoac_{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("autoac_{n}_sum {}\n", jnum(h.sum)));
+            out.push_str(&format!("autoac_{n}_count {}\n", h.count));
+        }
+        for s in &self.spans {
+            let n = prom_name(&s.path);
+            out.push_str(&format!(
+                "autoac_span_total_ns{{path=\"{}\"}} {}\nautoac_span_count{{path=\"{}\"}} {}\n",
+                n, s.total_ns, n, s.count
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the pre-order span list from a drained global tree.
+pub(crate) fn build_spans(g: &crate::span::Global) -> Vec<SpanStat> {
+    fn walk(
+        g: &crate::span::Global,
+        node: usize,
+        path: &str,
+        depth: usize,
+        out: &mut Vec<SpanStat>,
+    ) {
+        for &c in &g.nodes[node].children {
+            let n = &g.nodes[c];
+            let p = if path.is_empty() {
+                n.name.to_string()
+            } else {
+                format!("{path}/{}", n.name)
+            };
+            let child_total: u64 = n
+                .children
+                .iter()
+                .map(|&cc| g.nodes[cc].total_ns)
+                .sum();
+            out.push(SpanStat {
+                path: p.clone(),
+                name: n.name,
+                depth,
+                count: n.count,
+                total_ns: n.total_ns,
+                self_ns: n.total_ns.saturating_sub(child_total),
+            });
+            walk(g, c, &p, depth + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(g, 0, "", 0, &mut out);
+    out
+}
+
+/// JSON string literal with escaping (quotes, backslash, control chars).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite values print via `{:?}` (shortest round-trip repr);
+/// NaN and infinities, which JSON cannot express, become `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Prometheus metric-name sanitizer: anything outside `[a-zA-Z0-9_]`
+/// becomes `_`.
+fn prom_name(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ObsReport {
+        let mut hists = BTreeMap::new();
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(1000.0);
+        hists.insert("lat", h);
+        ObsReport {
+            spans: vec![
+                SpanStat {
+                    path: "search".into(),
+                    name: "search",
+                    depth: 0,
+                    count: 1,
+                    total_ns: 5_000_000,
+                    self_ns: 2_000_000,
+                },
+                SpanStat {
+                    path: "search/epoch".into(),
+                    name: "epoch",
+                    depth: 1,
+                    count: 10,
+                    total_ns: 3_000_000,
+                    self_ns: 3_000_000,
+                },
+            ],
+            events: vec![Event::Warn { tag: "ckpt", msg: "disk \"full\"\n".into(), ts_ns: 7 }],
+            counters: BTreeMap::from([("hits", 3u64)]),
+            gauges: BTreeMap::from([("rate", 0.5f64)]),
+            hists,
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_and_lists_every_record_type() {
+        let rep = sample_report();
+        let text = rep.to_jsonl("unit");
+        assert!(text.lines().count() == 1 + 2 + 1 + 1 + 1 + 1, "{text}");
+        assert!(text.contains(r#""type":"meta","run":"unit""#));
+        assert!(text.contains(r#""path":"search/epoch""#));
+        assert!(text.contains(r#""msg":"disk \"full\"\n""#), "escaping: {text}");
+        assert!(text.contains(r#""buckets":[[2,2.0,4.0,1],[10,512.0,1024.0,1]]"#), "{text}");
+        // Every line is a braces-balanced object ending in '}'.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn jnum_is_json_safe() {
+        assert_eq!(jnum(0.5), "0.5");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(f64::INFINITY), "null");
+        assert_eq!(jnum(1e300), "1e300");
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let rep = sample_report();
+        let tree = rep.render_tree();
+        let search_line = tree.lines().find(|l| l.contains("search")).unwrap();
+        let epoch_line = tree.lines().find(|l| l.contains("epoch")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(epoch_line) > indent(search_line), "{tree}");
+        assert!(search_line.contains("5.000"), "total ms column: {search_line}");
+    }
+
+    #[test]
+    fn prom_dump_has_cumulative_buckets() {
+        let rep = sample_report();
+        let prom = rep.prom_dump();
+        assert!(prom.contains("# TYPE autoac_hits counter"));
+        assert!(prom.contains("autoac_lat_bucket{le=\"4.0\"} 1"));
+        assert!(prom.contains("autoac_lat_bucket{le=\"1024.0\"} 2"));
+        assert!(prom.contains("autoac_lat_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("autoac_lat_count 2"));
+        assert!(prom.contains("autoac_span_total_ns{path=\"search_epoch\"}"));
+    }
+}

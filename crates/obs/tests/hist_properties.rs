@@ -1,0 +1,71 @@
+//! Property tests for histogram bucket boundaries: every recorded value
+//! lands in exactly one bucket, and that bucket's bounds contain it.
+
+use autoac_obs::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Membership predicate matching the documented bucket semantics:
+/// `[lo, hi)` half-open, except the last bucket also admits `+inf`.
+fn in_bucket(i: usize, v: f64) -> bool {
+    let (lo, hi) = bucket_bounds(i);
+    if i == NUM_BUCKETS - 1 {
+        v >= lo
+    } else {
+        v >= lo && v < hi
+    }
+}
+
+/// Builds an f64 from random bits, skewed toward the interesting range by
+/// also mixing in plain magnitudes.
+fn value_from(bits: u64, magnitude: f64) -> f64 {
+    if bits % 3 == 0 {
+        f64::from_bits(bits)
+    } else {
+        magnitude
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(
+        bits in 0u64..u64::MAX,
+        magnitude in 0.0f64..1e20,
+    ) {
+        let v = value_from(bits, magnitude);
+        if v.is_nan() {
+            // NaN is clamped into bucket 0 by record(); index agrees.
+            prop_assert_eq!(bucket_index(v), 0);
+        } else {
+            let idx = bucket_index(v);
+            prop_assert!(idx < NUM_BUCKETS);
+            prop_assert!(in_bucket(idx, v), "v={} idx={} bounds={:?}", v, idx, bucket_bounds(idx));
+            // Exactly one: membership fails for every other bucket.
+            let members = (0..NUM_BUCKETS).filter(|&i| in_bucket(i, v)).count();
+            prop_assert_eq!(members, 1, "v={} claimed by {} buckets", v, members);
+        }
+    }
+
+    #[test]
+    fn recorded_population_is_fully_accounted_for(
+        values in vec(0.0f64..1e12, 1..64),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min, min);
+        prop_assert_eq!(h.max, max);
+        // The min and max must sit inside the extreme non-empty buckets.
+        let first = h.buckets.iter().position(|&c| c > 0).unwrap();
+        let last = h.buckets.iter().rposition(|&c| c > 0).unwrap();
+        prop_assert!(in_bucket(first, min));
+        prop_assert!(in_bucket(last, max));
+    }
+}

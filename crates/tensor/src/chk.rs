@@ -24,23 +24,11 @@
 use std::cell::Cell;
 use std::sync::OnceLock;
 
-/// Strict parser for boolean-flag environment variables (`AUTOAC_CHECK`,
-/// `AUTOAC_POOL`). Accepts `1/true/on/yes` and `0/false/off/no`
-/// (case-insensitive, surrounding whitespace ignored); anything else —
-/// including an empty value — is an error so malformed settings fail loudly
-/// instead of silently defaulting.
-pub fn parse_bool_env(var: &str, raw: &str) -> Result<bool, String> {
-    match raw.trim().to_ascii_lowercase().as_str() {
-        "1" | "true" | "on" | "yes" => Ok(true),
-        "0" | "false" | "off" | "no" => Ok(false),
-        "" => Err(format!(
-            "{var} is set but empty; use 1/true/on/yes or 0/false/off/no (or unset it)"
-        )),
-        other => Err(format!(
-            "{var}={other:?} is not a recognized flag; use 1/true/on/yes or 0/false/off/no"
-        )),
-    }
-}
+/// Strict boolean-flag env parser, shared with `AUTOAC_POOL` and
+/// `AUTOAC_OBS`. The single implementation now lives in `autoac-obs` (the
+/// bottom of the dependency graph); this re-export keeps the historical
+/// `autoac_tensor::chk::parse_bool_env` import path working.
+pub use autoac_obs::parse_bool_env;
 
 fn env_enabled() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();

@@ -363,6 +363,7 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        let _obs = autoac_obs::span("matmul");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let (mut out, zeroed) = Matrix::accum_scratch(m, n);
         let work = m.saturating_mul(k).saturating_mul(n);
@@ -400,6 +401,7 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        let _obs = autoac_obs::span("matmul_tn");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let (mut out, zeroed) = Matrix::accum_scratch(m, n);
         let work = k.saturating_mul(m).saturating_mul(n);
@@ -435,6 +437,7 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        let _obs = autoac_obs::span("matmul_nt");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::scratch(m, n);
         let work = m.saturating_mul(k).saturating_mul(n);

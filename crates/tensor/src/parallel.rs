@@ -160,14 +160,24 @@ where
         }
         region.finish();
     }
+    // Workers are scoped threads with no access to the launcher's
+    // thread-locals, so capture the launcher's span position here and have
+    // each worker adopt it: spans the worker opens then nest under the
+    // launching call site (e.g. search/epoch/omega/matmul). Both calls are
+    // single-branch no-ops when obs is disabled.
+    let obs_path = autoac_obs::current_path();
     std::thread::scope(|scope| {
         let f = &f;
+        let obs_path = &obs_path;
         let mut rest = data;
         for range in ranges {
             let (chunk, tail) = rest.split_at_mut(range.len() * width);
             rest = tail;
             let first_row = range.start;
-            scope.spawn(move || f(first_row, chunk));
+            scope.spawn(move || {
+                let _nest = autoac_obs::adopt(obs_path);
+                f(first_row, chunk)
+            });
         }
     });
 }

@@ -22,8 +22,12 @@
 //!   debugging and for A/B benchmarks across processes.
 //! - [`with_pool`] scopes an override on the current thread (used by parity
 //!   tests and the in-process allocation benchmark).
-//! - [`stats`] / [`reset_stats`] expose hit/miss/bytes-recycled counters
-//!   (relaxed atomics — negligible cost next to an allocation).
+//! - [`stats_snapshot`] / [`stats_reset`] expose hit/miss/bytes-recycled
+//!   counters (relaxed atomics — negligible cost next to an allocation);
+//!   `stats_reset` swaps each counter to zero and returns what it cleared,
+//!   so phase-delimited measurements ([`crate::pool`] benchmarks, the obs
+//!   layer's per-epoch hit-rate series) never lose events to a
+//!   read-then-zero window.
 //!
 //! In debug builds, buffers are poisoned with a NaN pattern when they enter
 //! the free list, so any aliasing bug (a buffer handed to two live
@@ -115,8 +119,11 @@ impl PoolStats {
     }
 }
 
-/// Reads the global counters.
-pub fn stats() -> PoolStats {
+/// Reads the global counters without disturbing them. The three loads are
+/// individually relaxed, so a snapshot taken while other threads allocate
+/// is approximate across fields — callers that need read-and-zero
+/// coherence use [`stats_reset`].
+pub fn stats_snapshot() -> PoolStats {
     PoolStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
@@ -124,11 +131,29 @@ pub fn stats() -> PoolStats {
     }
 }
 
-/// Zeroes the global counters (benchmark bookkeeping).
+/// Zeroes the global counters and returns exactly the values that were
+/// cleared. Each counter is taken with an atomic `swap`, so an increment
+/// can never land in the window between "read" and "zero" and vanish —
+/// every event is attributed to exactly one measurement interval. This is
+/// what `bench_alloc` and the obs layer use to delimit phases.
+pub fn stats_reset() -> PoolStats {
+    PoolStats {
+        hits: HITS.swap(0, Ordering::Relaxed),
+        misses: MISSES.swap(0, Ordering::Relaxed),
+        bytes_recycled: BYTES_RECYCLED.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// Reads the global counters. Alias for [`stats_snapshot`], kept for
+/// existing callers.
+pub fn stats() -> PoolStats {
+    stats_snapshot()
+}
+
+/// Zeroes the global counters, discarding their values. Prefer
+/// [`stats_reset`] when the cleared values matter.
 pub fn reset_stats() {
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
-    BYTES_RECYCLED.store(0, Ordering::Relaxed);
+    let _ = stats_reset();
 }
 
 fn env_enabled() -> bool {
@@ -732,6 +757,32 @@ mod tests {
             assert_eq!(after.hits - before.hits, 1);
             assert!(after.bytes_recycled > before.bytes_recycled);
             drop(b);
+        });
+    }
+
+    #[test]
+    fn stats_reset_attributes_every_event_to_one_interval() {
+        with_pool(true, || {
+            trim();
+            // At least three misses on this thread (distinct buckets, all
+            // free lists empty after trim).
+            let bufs: Vec<_> = (0..3).map(|i| PoolVec::scratch(64 << i)).collect();
+            drop(bufs);
+            // Swap-based reset: across consecutive resets, the cleared
+            // values must account for all events — none lost to a window
+            // between read and zero. (>= because sibling tests may add.)
+            let r1 = stats_reset();
+            let r2 = stats_reset();
+            assert!(
+                r1.misses + r2.misses >= 3,
+                "events lost across reset: {} + {}",
+                r1.misses,
+                r2.misses
+            );
+            // snapshot/stats are non-destructive aliases of each other.
+            let s1 = stats_snapshot();
+            let s2 = stats();
+            assert!(s2.hits >= s1.hits && s2.misses >= s1.misses);
         });
     }
 

@@ -121,6 +121,7 @@ impl Csr {
     /// write in source-row order, so the output is identical to the serial
     /// counting sort bit for bit.
     pub fn transpose(&self) -> Csr {
+        let _obs = autoac_obs::span("csr_transpose");
         let threads =
             crate::parallel::threads_for(self.nnz().saturating_mul(2)).min(self.n_rows.max(1));
         if threads <= 1 {
@@ -243,6 +244,7 @@ impl Csr {
             self.n_cols,
             x.rows()
         );
+        let _obs = autoac_obs::span("spmm");
         let cols = x.cols();
         let (mut out, zeroed) = Matrix::accum_scratch(self.n_rows, cols);
         let work = self.nnz().saturating_mul(cols);

@@ -1,0 +1,69 @@
+//! Span nesting across `for_each_row_chunk` worker threads.
+//!
+//! Worker threads cannot see the launcher's thread-local obs override, so
+//! this test arms obs with the process-global force switch — and therefore
+//! lives alone in its own test binary (test binaries are separate
+//! processes; tests *within* one binary share the force switch and the
+//! global span accumulator).
+
+use autoac_tensor::parallel::{for_each_row_chunk, with_threads};
+
+#[test]
+fn worker_spans_nest_under_the_launching_call_site() {
+    autoac_obs::set_force(Some(true));
+    let _ = autoac_obs::drain();
+
+    let rows = 64usize;
+    let width = 8usize;
+    let mut data = vec![0.0f32; rows * width];
+    {
+        let _outer = autoac_obs::span("launch");
+        // Force real workers regardless of AUTOAC_NUM_THREADS.
+        with_threads(4, || {
+            // work=1M clears any parallelism threshold.
+            for_each_row_chunk(&mut data, width, 1_000_000, |first_row, chunk| {
+                let _k = autoac_obs::span("worker_kernel");
+                for (i, row) in chunk.chunks_mut(width).enumerate() {
+                    row.fill((first_row + i) as f32);
+                }
+            });
+        });
+    }
+    let rep = autoac_obs::drain();
+    autoac_obs::set_force(None);
+
+    // The kernel ran correctly in parallel.
+    for r in 0..rows {
+        assert!(data[r * width..(r + 1) * width].iter().all(|&v| v == r as f32));
+    }
+
+    let launch = rep.span("launch").expect("launcher span recorded");
+    assert_eq!(launch.count, 1);
+    let nested = rep
+        .span("launch/worker_kernel")
+        .expect("worker span must nest under the adopted launcher path");
+    assert_eq!(
+        nested.count, 4,
+        "one worker_kernel span per worker thread; got:\n{}",
+        rep.render_tree()
+    );
+    // No orphaned top-level worker_kernel: adoption placed every one.
+    assert!(
+        rep.span("worker_kernel").is_none(),
+        "worker spans must not surface at the root:\n{}",
+        rep.render_tree()
+    );
+
+    // Real kernels adopt too: a matmul launched inside a span nests there.
+    autoac_obs::set_force(Some(true));
+    let _ = autoac_obs::drain();
+    let a = autoac_tensor::Matrix::from_vec(32, 32, vec![1.0; 32 * 32]);
+    {
+        let _outer = autoac_obs::span("launch");
+        let _c = with_threads(4, || a.matmul(&a));
+    }
+    let rep = autoac_obs::drain();
+    autoac_obs::set_force(None);
+    let mm = rep.span("launch/matmul").expect("matmul span nests under launch");
+    assert_eq!(mm.count, 1);
+}

@@ -15,7 +15,13 @@
 #  - the checking pass: autoac-lint must exit clean over the repo, the full
 #    suite must pass with AUTOAC_CHECK=1 armed (zero sanitizer findings on
 #    clean code), and check_smoke must prove every analysis catches its
-#    seeded bug class.
+#    seeded bug class;
+#  - the observability pass (obs_smoke): the same short search + retrain
+#    with AUTOAC_OBS=0 and AUTOAC_OBS=1 must produce byte-identical result
+#    digests (instrumentation is read-only), and the enabled run must
+#    export an OBS_smoke.jsonl that parses line by line and carries the
+#    promised span tree and trajectory series (the binary self-validates
+#    and exits non-zero on any miss).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -82,4 +88,14 @@ echo "== allocation benchmark (bench_alloc → results/BENCH_alloc.json) =="
 # binary is the part verify depends on.
 ./target/release/bench_alloc --scale tiny --epochs 10
 
-echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume and bench_alloc OK"
+echo "== observability pass (obs_smoke: bitwise identity + JSONL validation) =="
+OBS_SMOKE="./target/release/obs_smoke"
+OBS_ARGS=(--scale tiny --search-epochs 6 --epochs 6)
+AUTOAC_OBS=0 "$OBS_SMOKE" "${OBS_ARGS[@]}" --out "$WORK/obs_off.json"
+AUTOAC_OBS=1 "$OBS_SMOKE" "${OBS_ARGS[@]}" --out "$WORK/obs_on.json" --obs-dir "$WORK/obs" \
+  || { echo "verify.sh: FAIL — obs export failed self-validation"; exit 1; }
+diff "$WORK/obs_off.json" "$WORK/obs_on.json" \
+  || { echo "verify.sh: FAIL — AUTOAC_OBS=1 perturbed the training trajectory"; exit 1; }
+echo "   AUTOAC_OBS=1 digest is byte-identical to AUTOAC_OBS=0; OBS_smoke.jsonl validated"
+
+echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, and obs smoke OK"
