@@ -1,0 +1,7 @@
+//! Fixture dispatch registry for the dispatch-parity-coverage rule:
+//! `fused_relu_blocked` is registered below but the fixture parity harness
+//! (`../tests/kernel_parity.rs`) never mentions it — the seeded violation.
+pub const VARIANTS: &[&str] = &[
+    "fused_relu_scalar",
+    "fused_relu_blocked",
+];

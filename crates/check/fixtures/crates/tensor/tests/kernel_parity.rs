@@ -1,0 +1,8 @@
+//! Fixture parity harness: exercises fused_relu_scalar (word-delimited)
+//! but deliberately not the blocked variant, so the fixture tree trips
+//! dispatch-parity-coverage exactly once.
+
+#[test]
+fn scalar_variant_is_covered() {
+    let _ = "fused_relu_scalar";
+}

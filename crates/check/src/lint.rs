@@ -27,6 +27,11 @@
 //!   diagnostics must go through `autoac_obs::warn`, which prints the same
 //!   line *and* counts/exports it. The obs crate itself
 //!   (`crates/obs/src/`) is exempt — it is where the routing lives.
+//! - **dispatch-parity-coverage** — every kernel variant registered in the
+//!   `VARIANTS` list of `crates/tensor/src/dispatch.rs` must be exercised
+//!   by name in the parity harness
+//!   (`crates/tensor/tests/kernel_parity.rs`). A variant the harness never
+//!   compares is a kernel whose bitwise-equality contract nothing checks.
 //!
 //! A finding can be silenced with a `lint:allow(<rule>)` marker (in a
 //! comment) on the same or the preceding line; the allowlist is meant to be
@@ -42,6 +47,7 @@ const RULE_RAW_ALLOC: &str = "raw-alloc-in-hotpath";
 const RULE_INSTANT: &str = "instant-in-kernel-loop";
 const RULE_GRADCHECK: &str = "op-gradcheck-coverage";
 const RULE_EPRINTLN: &str = "eprintln-in-lib";
+const RULE_DISPATCH_PARITY: &str = "dispatch-parity-coverage";
 
 /// Marker spellings accepted in `lint:allow(...)` (underscores allowed so
 /// the marker reads naturally in code comments).
@@ -57,6 +63,7 @@ fn allow_marker_matches(line: &str, rule: &str) -> bool {
             ("instant", RULE_INSTANT) => true,
             ("gradcheck", RULE_GRADCHECK) => true,
             ("eprintln", RULE_EPRINTLN) => true,
+            ("dispatch-parity", RULE_DISPATCH_PARITY) => true,
             _ => false,
         }
 }
@@ -341,6 +348,62 @@ pub fn scan_source(rel: &str, text: &str, gradcheck_text: &str) -> Report {
     scanner.report
 }
 
+/// The dispatch-parity-coverage rule over in-memory texts: every string
+/// in `dispatch_text`'s `VARIANTS` list must occur (word-delimited) in
+/// `parity_text`. Split out from [`check_dispatch_parity`] for direct
+/// unit testing.
+pub fn scan_dispatch_parity(dispatch_text: &str, parity_text: &str) -> Report {
+    const DISPATCH_REL: &str = "crates/tensor/src/dispatch.rs";
+    let mut report = Report::new();
+    let Some(start) = dispatch_text.find("VARIANTS") else { return report };
+    // Skip past the `=` so the `[` in the `&[&str]` type annotation
+    // doesn't masquerade as the list opener.
+    let Some(eq) = dispatch_text[start..].find('=') else { return report };
+    let Some(open) = dispatch_text[start + eq..].find('[') else { return report };
+    let list_start = start + eq + open;
+    let Some(close) = dispatch_text[list_start..].find(']') else { return report };
+    let list = &dispatch_text[list_start..list_start + close];
+    let mut offset = 0;
+    while let Some(q0) = list[offset..].find('"') {
+        let name_start = offset + q0 + 1;
+        let Some(q1) = list[name_start..].find('"') else { break };
+        let name = &list[name_start..name_start + q1];
+        offset = name_start + q1 + 1;
+        if name.is_empty() || contains_word(parity_text, name) {
+            continue;
+        }
+        let abs = list_start + name_start;
+        let line_no = dispatch_text[..abs].matches('\n').count() + 1;
+        let raw_line = dispatch_text.lines().nth(line_no - 1).unwrap_or_default();
+        if allow_marker_matches(raw_line, RULE_DISPATCH_PARITY) {
+            continue;
+        }
+        report.push(Diagnostic {
+            analysis: Analysis::Lint,
+            rule: RULE_DISPATCH_PARITY,
+            message: format!(
+                "kernel variant `{name}` is registered in VARIANTS but never exercised \
+                 in crates/tensor/tests/kernel_parity.rs"
+            ),
+            location: format!("{DISPATCH_REL}:{line_no}"),
+        });
+    }
+    report
+}
+
+/// File-reading wrapper for [`scan_dispatch_parity`]: inert when the tree
+/// has no dispatch layer; a missing or empty parity harness flags every
+/// registered variant.
+fn check_dispatch_parity(root: &Path) -> Report {
+    let Ok(dispatch_text) = std::fs::read_to_string(root.join("crates/tensor/src/dispatch.rs"))
+    else {
+        return Report::new();
+    };
+    let parity_text = std::fs::read_to_string(root.join("crates/tensor/tests/kernel_parity.rs"))
+        .unwrap_or_default();
+    scan_dispatch_parity(&dispatch_text, &parity_text)
+}
+
 /// Recursively collects `.rs` files under `dir`, skipping `src/bin/`
 /// (application code) — the lint targets library sources.
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -392,6 +455,7 @@ pub fn lint_root(root: &Path) -> Report {
             report.merge(scan_source(&rel, &text, &gradcheck_text));
         }
     }
+    report.merge(check_dispatch_parity(root));
     report
 }
 
@@ -480,6 +544,25 @@ mod tests {
         assert_eq!(report.diagnostics[0].location, "crates/core/src/search.rs:2");
         // The obs crate is the router and therefore exempt.
         assert_eq!(scan_source("crates/obs/src/metrics.rs", text, "").diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn dispatch_parity_flags_uncovered_variants_with_word_boundaries() {
+        let dispatch = "\
+/// registry
+pub const VARIANTS: &[&str] = &[
+    \"foo_scalar\",
+    \"foo_blocked\",
+];
+";
+        // `foo_scalar_x` is not word-delimited coverage of `foo_scalar`.
+        let report = scan_dispatch_parity(dispatch, "run(foo_scalar_x); check(\"foo_blocked\");");
+        assert_eq!(report.diagnostics.len(), 1, "{}", report.render());
+        assert_eq!(report.diagnostics[0].rule, RULE_DISPATCH_PARITY);
+        assert_eq!(report.diagnostics[0].location, "crates/tensor/src/dispatch.rs:3");
+        // Covered both ways -> clean; no VARIANTS list -> inert.
+        assert!(scan_dispatch_parity(dispatch, "foo_scalar foo_blocked").is_clean());
+        assert!(scan_dispatch_parity("pub fn f() {}", "").is_clean());
     }
 
     #[test]

@@ -137,6 +137,7 @@ fn obs_on_run_is_bitwise_identical_and_fully_exported() {
             "series" => assert!(v.get("step").is_some() && v.get("values").is_some()),
             "counter" | "gauge" => assert!(v.get("value").is_some()),
             "hist" => assert!(v.get("buckets").is_some()),
+            "shape" => assert!(v.get("op").is_some() && v.get("count").is_some()),
             "warn" => assert!(v.get("msg").is_some()),
             other => panic!("unknown record type {other:?} on line {}", i + 1),
         }

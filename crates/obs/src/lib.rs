@@ -34,7 +34,10 @@ mod span;
 
 pub use env::{enabled, parse_bool_env, set_force, with_obs};
 pub use hist::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
-pub use metrics::{counter_add, gauge_set, hist_record, series, series_vec, warn, Event};
+pub use metrics::{
+    counter_add, gauge_set, hist_record, series, series_vec, shape_record, warn, Event, ShapeKey,
+    MAX_SHAPE_KEYS,
+};
 pub use report::{ObsReport, SpanStat};
 pub use span::{adopt, current_path, span, AdoptGuard, SpanGuard, SpanPath};
 
@@ -67,6 +70,7 @@ pub fn drain() -> ObsReport {
         counters: reg.counters,
         gauges: reg.gauges,
         hists: reg.hists,
+        shapes: reg.shapes,
     }
 }
 

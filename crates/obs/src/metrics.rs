@@ -53,11 +53,29 @@ impl Event {
     }
 }
 
+/// Key identifying one recorded kernel shape: the op name plus its
+/// `[m, k, n, nnz]` dimensions (`nnz` is 0 for dense ops). Shapes in a
+/// training loop are highly repetitive — the same layer dims every epoch —
+/// so aggregating counts per exact key stays small.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShapeKey {
+    /// Kernel op name, e.g. `matmul` or `spmm`.
+    pub op: &'static str,
+    /// `[m, k, n, nnz]`; unused slots are 0.
+    pub dims: [usize; 4],
+}
+
+/// Distinct shape keys retained per drain; further *new* shapes are dropped
+/// (counted under `kernel.shape_dropped`) to bound memory on adversarial
+/// workloads. Existing keys keep counting.
+pub const MAX_SHAPE_KEYS: usize = 4096;
+
 #[derive(Default)]
 pub(crate) struct Registry {
     pub(crate) counters: BTreeMap<&'static str, u64>,
     pub(crate) gauges: BTreeMap<&'static str, f64>,
     pub(crate) hists: BTreeMap<&'static str, Histogram>,
+    pub(crate) shapes: BTreeMap<ShapeKey, u64>,
 }
 
 fn registry() -> MutexGuard<'static, Registry> {
@@ -98,6 +116,24 @@ pub fn hist_record(name: &'static str, v: f64) {
         return;
     }
     registry().hists.entry(name).or_default().record(v);
+}
+
+/// Records one execution of a kernel with the given shape. Aggregated per
+/// exact `(op, dims)` key and exported as `"type":"shape"` JSONL records —
+/// the replay input for the offline kernel tuner
+/// (`bench_kernels --replay`).
+#[inline]
+pub fn shape_record(op: &'static str, dims: [usize; 4]) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry();
+    let key = ShapeKey { op, dims };
+    if reg.shapes.len() >= MAX_SHAPE_KEYS && !reg.shapes.contains_key(&key) {
+        *reg.counters.entry("kernel.shape_dropped").or_insert(0) += 1;
+        return;
+    }
+    *reg.shapes.entry(key).or_insert(0) += 1;
 }
 
 /// Records a single-valued time-series point.
@@ -181,6 +217,28 @@ mod tests {
         let rep2 = crate::drain();
         assert_eq!(rep2.counter("hits"), 0);
         assert!(rep2.events.is_empty());
+    }
+
+    #[test]
+    fn shape_record_aggregates_per_exact_key() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        with_obs(true, || {
+            shape_record("matmul", [128, 64, 32, 0]);
+            shape_record("matmul", [128, 64, 32, 0]);
+            shape_record("spmm", [128, 128, 32, 900]);
+        });
+        with_obs(false, || shape_record("matmul", [1, 1, 1, 0]));
+        let rep = crate::drain();
+        assert_eq!(rep.shapes.len(), 2);
+        assert_eq!(
+            rep.shapes.get(&ShapeKey { op: "matmul", dims: [128, 64, 32, 0] }),
+            Some(&2)
+        );
+        assert_eq!(
+            rep.shapes.get(&ShapeKey { op: "spmm", dims: [128, 128, 32, 900] }),
+            Some(&1)
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `counter` | `name`, `value`                                          |
 //! | `gauge`   | `name`, `value`                                          |
 //! | `hist`    | `name`, `count`, `min`, `max`, `sum`, `buckets` (array of `[index, lo, hi, count]`, non-empty buckets only) |
+//! | `shape`   | `op`, `m`, `k`, `n`, `nnz`, `count`                      |
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -59,6 +60,8 @@ pub struct ObsReport {
     pub gauges: BTreeMap<&'static str, f64>,
     /// Final histograms.
     pub hists: BTreeMap<&'static str, Histogram>,
+    /// Kernel shape execution counts (see [`crate::shape_record`]).
+    pub shapes: BTreeMap<crate::ShapeKey, u64>,
 }
 
 impl ObsReport {
@@ -84,6 +87,7 @@ impl ObsReport {
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.hists.is_empty()
+            && self.shapes.is_empty()
     }
 
     /// Renders the human span tree: indentation mirrors nesting, with
@@ -148,6 +152,12 @@ impl ObsReport {
             out.push_str(&format!(
                 "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":{buckets}}}\n",
                 jstr(name), h.count, jnum(h.min), jnum(h.max), jnum(h.sum)
+            ));
+        }
+        for (key, count) in &self.shapes {
+            out.push_str(&format!(
+                "{{\"type\":\"shape\",\"op\":{},\"m\":{},\"k\":{},\"n\":{},\"nnz\":{},\"count\":{count}}}\n",
+                jstr(key.op), key.dims[0], key.dims[1], key.dims[2], key.dims[3]
             ));
         }
         for ev in &self.events {
@@ -337,6 +347,10 @@ mod tests {
             counters: BTreeMap::from([("hits", 3u64)]),
             gauges: BTreeMap::from([("rate", 0.5f64)]),
             hists,
+            shapes: BTreeMap::from([(
+                crate::ShapeKey { op: "matmul", dims: [8, 4, 8, 0] },
+                2u64,
+            )]),
         }
     }
 
@@ -344,8 +358,12 @@ mod tests {
     fn jsonl_escapes_and_lists_every_record_type() {
         let rep = sample_report();
         let text = rep.to_jsonl("unit");
-        assert!(text.lines().count() == 1 + 2 + 1 + 1 + 1 + 1, "{text}");
+        assert!(text.lines().count() == 1 + 2 + 1 + 1 + 1 + 1 + 1, "{text}");
         assert!(text.contains(r#""type":"meta","run":"unit""#));
+        assert!(
+            text.contains(r#""type":"shape","op":"matmul","m":8,"k":4,"n":8,"nnz":0,"count":2"#),
+            "{text}"
+        );
         assert!(text.contains(r#""path":"search/epoch""#));
         assert!(text.contains(r#""msg":"disk \"full\"\n""#), "escaping: {text}");
         assert!(text.contains(r#""buckets":[[2,2.0,4.0,1],[10,512.0,1024.0,1]]"#), "{text}");

@@ -18,6 +18,10 @@
 //!   launcher captures [`current_path`] before spawning and each worker
 //!   installs it with [`adopt`]; kernel spans opened by the worker then
 //!   nest under the launcher's position (e.g. `search/epoch/omega/matmul`).
+//!   The adopt guard's drop also flushes the worker's arena into the
+//!   global tree: `thread::scope` only orders the worker *closure* before
+//!   the join, not TLS teardown, so waiting for thread exit would let a
+//!   drain right after the region race the merge.
 //!
 //! Timing uses [`Instant`], the only monotonic clock in std; this module
 //! is the one place in the workspace where kernels' time is read (the
@@ -306,8 +310,22 @@ impl Drop for AdoptGuard {
         let Some((prev, generation)) = self.0.take() else { return };
         STATE.with(|s| {
             let mut st = s.borrow_mut();
-            if st.generation == generation {
-                st.current = prev;
+            if st.generation != generation {
+                return;
+            }
+            st.current = prev;
+            // Eager flush for scoped workers: `thread::scope` unblocks when
+            // the worker *closure* returns, but TLS destructors (the normal
+            // flush path) run later, during thread teardown — so a launcher
+            // draining right after the parallel region could miss this
+            // worker's spans. This drop runs inside the closure, which the
+            // scope join orders before the launcher resumes. Only safe when
+            // the cursor returned to the root (no open spans whose arena
+            // indices a flush would invalidate).
+            if prev == ROOT && !st.is_empty() {
+                // Replacing bumps the generation; the replaced state's own
+                // Drop performs the merge into the global accumulator.
+                drop(std::mem::replace(&mut *st, ThreadState::new()));
             }
         });
     }

@@ -1,0 +1,426 @@
+//! Kernel variant selection: scalar vs register-blocked microkernels.
+//!
+//! Every op in the matmul family ([`crate::Matrix::matmul`],
+//! [`crate::Matrix::matmul_tn`], [`crate::Matrix::matmul_nt`],
+//! [`crate::Csr::matmul_dense`]) has two bitwise-identical implementations
+//! (see [`crate::ops::microkernel`]); this module decides which one runs.
+//! Because the variants are bitwise equal, dispatch is purely a performance
+//! decision — training results cannot depend on it.
+//!
+//! Selection policy, in priority order:
+//!
+//! 1. [`with_kernel`] — a scoped, test-friendly override.
+//! 2. The `AUTOAC_KERNEL` environment variable: `scalar`, `blocked`, or
+//!    `auto` (read once, parsed strictly — a malformed value aborts instead
+//!    of silently falling back).
+//! 3. Default `auto`: a per-[`ShapeClass`] **selection table**, built
+//!    lazily by evaluating a linear [`CostModel`] on every shape-class
+//!    bucket. The baked-in model weights are fitted offline against the
+//!    A/B timing table written by `bench_kernels`, which can replay the
+//!    kernel shapes recorded in an obs JSONL export
+//!    (`bench_kernels --replay results/OBS_<run>.jsonl`, using the
+//!    `"type":"shape"` records emitted by [`autoac_obs::shape_record`]);
+//!    the weights approximate measured `log2(scalar_time / blocked_time)`
+//!    over the class features. The table is the cost model memoized over
+//!    the (small) class space, so `select` costs a classify + array load
+//!    on the hot path.
+//!
+//! When obs is enabled, every selection records its shape
+//! ([`autoac_obs::shape_record`]) — the data the tuner replays — and bumps
+//! the `kernel.scalar` / `kernel.blocked` counters.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Every dispatchable kernel variant, by microkernel function name.
+///
+/// autoac-lint's `dispatch-parity-coverage` rule requires each name listed
+/// here to appear in the parity harness
+/// (`crates/tensor/tests/kernel_parity.rs`) — registering a variant
+/// without covering it is a lint failure.
+pub const VARIANTS: &[&str] = &[
+    "matmul_scalar",
+    "matmul_blocked",
+    "matmul_tn_scalar",
+    "matmul_tn_blocked",
+    "matmul_nt_scalar",
+    "matmul_nt_blocked",
+    "spmm_scalar",
+    "spmm_blocked",
+];
+
+/// Selection policy: force one variant, or let the table decide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Always run the scalar reference kernels.
+    Scalar,
+    /// Always run the register-blocked kernels.
+    Blocked,
+    /// Per-shape-class selection table (the default).
+    Auto,
+}
+
+/// A concrete kernel implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Scalar reference kernel.
+    Scalar,
+    /// Register-blocked kernel.
+    Blocked,
+}
+
+/// The dispatchable ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelOp {
+    /// `A · B` ([`crate::Matrix::matmul`]).
+    MatMul,
+    /// `Aᵀ · B` ([`crate::Matrix::matmul_tn`]).
+    MatMulTn,
+    /// `A · Bᵀ` ([`crate::Matrix::matmul_nt`]).
+    MatMulNt,
+    /// CSR · dense ([`crate::Csr::matmul_dense`]).
+    Spmm,
+}
+
+impl KernelOp {
+    /// Obs span/shape name for this op.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelOp::MatMul => "matmul",
+            KernelOp::MatMulTn => "matmul_tn",
+            KernelOp::MatMulNt => "matmul_nt",
+            KernelOp::Spmm => "spmm",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KernelOp::MatMul => 0,
+            KernelOp::MatMulTn => 1,
+            KernelOp::MatMulNt => 2,
+            KernelOp::Spmm => 3,
+        }
+    }
+}
+
+/// Strict parser for `AUTOAC_KERNEL`: `scalar`, `blocked`, or `auto`
+/// (ASCII case-insensitive, surrounding whitespace ignored). Anything else
+/// is an error — a malformed setting must abort instead of silently
+/// falling back to auto.
+pub fn parse_kernel_env(raw: &str) -> Result<KernelChoice, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Ok(KernelChoice::Scalar),
+        "blocked" => Ok(KernelChoice::Blocked),
+        "auto" => Ok(KernelChoice::Auto),
+        "" => Err(
+            "AUTOAC_KERNEL is set but empty; use scalar, blocked, or auto (or unset it)".into(),
+        ),
+        other => Err(format!(
+            "AUTOAC_KERNEL={other:?} is invalid; use scalar, blocked, or auto"
+        )),
+    }
+}
+
+fn env_choice() -> Option<KernelChoice> {
+    static ENV: OnceLock<Option<KernelChoice>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("AUTOAC_KERNEL").ok()?;
+        Some(parse_kernel_env(&raw).unwrap_or_else(|e| panic!("autoac-tensor: {e}")))
+    })
+}
+
+thread_local! {
+    /// Override installed by [`with_kernel`]; `None` means unset.
+    /// Thread-local for the same reason as `parallel::OVERRIDE`: kernels
+    /// are always launched from the calling thread.
+    static OVERRIDE: Cell<Option<KernelChoice>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread's kernel choice pinned to `choice`, restoring
+/// the previous setting afterwards (also on panic). Used by the parity
+/// harness and the A/B tuner to force variants without touching env.
+pub fn with_kernel<T>(choice: KernelChoice, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<KernelChoice>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(choice))));
+    f()
+}
+
+/// The effective selection policy right now (override → env → auto).
+pub fn choice() -> KernelChoice {
+    OVERRIDE
+        .with(Cell::get)
+        .or_else(env_choice)
+        .unwrap_or(KernelChoice::Auto)
+}
+
+// ---------------------------------------------------------------------
+// Shape classes and the cost model
+// ---------------------------------------------------------------------
+
+/// Log2-bucket bound for total scalar work.
+const WORK_CLASSES: usize = 48;
+/// Log2-bucket bound for the output-row width `n`.
+const N_CLASSES: usize = 16;
+/// Sparsity buckets (dense ops always land in the densest bucket).
+const DENSITY_CLASSES: usize = 4;
+/// Thread-count buckets: 1, 2–4, ≥5.
+const THREAD_CLASSES: usize = 3;
+const OPS: usize = 4;
+
+/// Coarse shape descriptor: the dispatch table is indexed by these buckets
+/// and the cost-model features are derived from them, so table lookup and
+/// model evaluation agree by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeClass {
+    /// `⌊log2(total scalar work)⌋`, clamped to `0..48`. Work is `m·k·n`
+    /// for dense ops and `nnz·n` for spmm.
+    pub work_log2: u8,
+    /// `⌊log2(n)⌋`, clamped to `0..16` — whether output rows fit whole
+    /// register panels.
+    pub n_log2: u8,
+    /// Sparsity bucket from the average row degree `nnz / m` — the number
+    /// of times spmm re-walks a row's indices is what blocking amortizes:
+    /// `< 4` → 0, `< 8` → 1, `< 16` → 2, else (and all dense ops) → 3.
+    pub density: u8,
+    /// Thread-count bucket: 1 → 0, 2–4 → 1, ≥5 → 2.
+    pub threads: u8,
+}
+
+fn log2_bucket(v: usize, max: usize) -> u8 {
+    if v <= 1 {
+        0
+    } else {
+        ((usize::BITS - 1 - v.leading_zeros()) as usize).min(max - 1) as u8
+    }
+}
+
+/// Buckets a kernel invocation. `nnz` is `None` for dense ops.
+pub fn classify(m: usize, k: usize, n: usize, nnz: Option<usize>) -> ShapeClass {
+    let work = match nnz {
+        Some(nnz) => nnz.saturating_mul(n),
+        None => m.saturating_mul(k).saturating_mul(n),
+    };
+    let density = match nnz {
+        None => DENSITY_CLASSES as u8 - 1,
+        Some(nnz) => {
+            let degree = nnz as f64 / m.max(1) as f64;
+            if degree < 4.0 {
+                0
+            } else if degree < 8.0 {
+                1
+            } else if degree < 16.0 {
+                2
+            } else {
+                3
+            }
+        }
+    };
+    let threads = match crate::parallel::threads_for(work) {
+        1 => 0,
+        2..=4 => 1,
+        _ => 2,
+    };
+    ShapeClass {
+        work_log2: log2_bucket(work, WORK_CLASSES),
+        n_log2: log2_bucket(n, N_CLASSES),
+        density,
+        threads,
+    }
+}
+
+impl ShapeClass {
+    fn table_index(self, op: KernelOp) -> usize {
+        (((op.index() * WORK_CLASSES + self.work_log2 as usize) * N_CLASSES
+            + self.n_log2 as usize)
+            * DENSITY_CLASSES
+            + self.density as usize)
+            * THREAD_CLASSES
+            + self.threads as usize
+    }
+}
+
+/// Linear cost model over [`ShapeClass`] features: predicts
+/// `log2(scalar_time / blocked_time)`; a positive score means the blocked
+/// variant is expected to win. One model per [`KernelOp`].
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Intercept.
+    pub bias: f32,
+    /// Weight on `work_log2`.
+    pub w_work: f32,
+    /// Weight on `n_log2`.
+    pub w_n: f32,
+    /// Weight on the sparsity bucket.
+    pub w_density: f32,
+    /// Weight on the thread bucket.
+    pub w_threads: f32,
+}
+
+impl CostModel {
+    /// Predicted `log2` speedup of blocked over scalar for a class.
+    pub fn score(&self, c: ShapeClass) -> f32 {
+        self.bias
+            + self.w_work * c.work_log2 as f32
+            + self.w_n * c.n_log2 as f32
+            + self.w_density * c.density as f32
+            + self.w_threads * c.threads as f32
+    }
+
+    /// The variant this model picks for a class.
+    pub fn pick(&self, c: ShapeClass) -> Variant {
+        if self.score(c) > 0.0 {
+            Variant::Blocked
+        } else {
+            Variant::Scalar
+        }
+    }
+
+    /// Baked-in weights, tuned from the measured A/B table written by
+    /// `bench_kernels` (see `results/BENCH_kernels.json` for the run that
+    /// produced them). The measured picture: blocked wins nearly
+    /// everywhere — the models keep scalar only for the shapes where the
+    /// A/B table shows it losing (column-vector dense outputs, spmm rows
+    /// with fewer than ~4 nonzeros).
+    pub fn default_for(op: KernelOp) -> CostModel {
+        match op {
+            // Dense matmul / tn: measured blocked wins from n ≥ 2 at any
+            // realistic work (register-panel tails beat scalar
+            // read-modify-write even at n = 7: 1.8×); only column-vector
+            // outputs (n = 1) stay scalar.
+            KernelOp::MatMul | KernelOp::MatMulTn => CostModel {
+                bias: -0.9,
+                w_work: 0.01,
+                w_n: 0.45,
+                w_density: 0.0,
+                w_threads: 0.0,
+            },
+            // nt: the 4-chain dot tile wins on every measured shape
+            // (1.3–1.8×) down to k = 7; only degenerate dots stay scalar.
+            KernelOp::MatMulNt => CostModel {
+                bias: -1.0,
+                w_work: 0.08,
+                w_n: 0.15,
+                w_density: 0.0,
+                w_threads: 0.0,
+            },
+            // spmm: blocking amortizes the per-panel index re-walk, so
+            // the average row degree (the density bucket) decides —
+            // measured win at degree ≥ 4 (1.2–1.3×), slight loss below.
+            KernelOp::Spmm => CostModel {
+                bias: -0.6,
+                w_work: 0.0,
+                w_n: 0.02,
+                w_density: 0.7,
+                w_threads: 0.0,
+            },
+        }
+    }
+}
+
+fn table() -> &'static [Variant] {
+    static TABLE: OnceLock<Vec<Variant>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![Variant::Scalar; OPS * WORK_CLASSES * N_CLASSES * DENSITY_CLASSES * THREAD_CLASSES];
+        for op in [KernelOp::MatMul, KernelOp::MatMulTn, KernelOp::MatMulNt, KernelOp::Spmm] {
+            let model = CostModel::default_for(op);
+            for work in 0..WORK_CLASSES {
+                for n in 0..N_CLASSES {
+                    for d in 0..DENSITY_CLASSES {
+                        for th in 0..THREAD_CLASSES {
+                            let c = ShapeClass {
+                                work_log2: work as u8,
+                                n_log2: n as u8,
+                                density: d as u8,
+                                threads: th as u8,
+                            };
+                            t[c.table_index(op)] = model.pick(c);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    })
+}
+
+/// Picks the kernel variant for one invocation and records the shape for
+/// the offline tuner. Hot path: one branch when obs is off, a classify +
+/// table load in auto mode.
+pub(crate) fn select(op: KernelOp, m: usize, k: usize, n: usize, nnz: Option<usize>) -> Variant {
+    if autoac_obs::enabled() {
+        autoac_obs::shape_record(op.name(), [m, k, n, nnz.unwrap_or(0)]);
+    }
+    let variant = match choice() {
+        KernelChoice::Scalar => Variant::Scalar,
+        KernelChoice::Blocked => Variant::Blocked,
+        KernelChoice::Auto => table()[classify(m, k, n, nnz).table_index(op)],
+    };
+    match variant {
+        Variant::Scalar => autoac_obs::counter_add("kernel.scalar", 1),
+        Variant::Blocked => autoac_obs::counter_add("kernel.blocked", 1),
+    }
+    variant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parser_is_strict() {
+        assert_eq!(parse_kernel_env("scalar"), Ok(KernelChoice::Scalar));
+        assert_eq!(parse_kernel_env(" Blocked\n"), Ok(KernelChoice::Blocked));
+        assert_eq!(parse_kernel_env("AUTO"), Ok(KernelChoice::Auto));
+        for bad in ["", "  ", "fast", "1", "blocked,scalar"] {
+            assert!(parse_kernel_env(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn with_kernel_overrides_and_restores() {
+        let before = choice();
+        let inner = with_kernel(KernelChoice::Scalar, || {
+            assert_eq!(choice(), KernelChoice::Scalar);
+            with_kernel(KernelChoice::Blocked, choice)
+        });
+        assert_eq!(inner, KernelChoice::Blocked);
+        assert_eq!(choice(), before, "override must restore");
+    }
+
+    #[test]
+    fn table_agrees_with_cost_model_everywhere() {
+        for op in [KernelOp::MatMul, KernelOp::MatMulTn, KernelOp::MatMulNt, KernelOp::Spmm] {
+            let model = CostModel::default_for(op);
+            for (m, k, n, nnz) in [
+                (1, 1, 1, None),
+                (4057, 334, 64, None),
+                (64, 4096, 8, None),
+                (3, 5, 1, None),
+                (2000, 2000, 64, Some(12_000)),
+                (100, 100, 7, Some(40)),
+            ] {
+                let c = classify(m, k, n, nnz);
+                assert_eq!(
+                    table()[c.table_index(op)],
+                    model.pick(c),
+                    "{op:?} {m}x{k}x{n} nnz={nnz:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_blocked_for_paper_scale_and_scalar_for_degenerate() {
+        // DBLP-scale forward matmul: must be blocked.
+        let big = classify(4057, 334, 64, None);
+        assert_eq!(CostModel::default_for(KernelOp::MatMul).pick(big), Variant::Blocked);
+        // Column-vector output: panels can't even form, stay scalar.
+        let thin = classify(4057, 334, 1, None);
+        assert_eq!(CostModel::default_for(KernelOp::MatMul).pick(thin), Variant::Scalar);
+    }
+}

@@ -22,6 +22,7 @@
 
 mod autograd;
 pub mod chk;
+pub mod dispatch;
 pub mod init;
 mod matrix;
 pub mod optim;

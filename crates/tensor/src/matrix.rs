@@ -18,6 +18,7 @@
 
 use std::fmt;
 
+use crate::ops::microkernel;
 use crate::pool::PoolVec;
 
 /// Dense row-major matrix of `f32`.
@@ -350,12 +351,14 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an ikj loop order so the inner loop streams contiguously over
-    /// both the `other` row and the output row; this vectorizes well and is
-    /// the single hottest kernel in the whole stack. Output rows are
-    /// independent, so they are split across worker threads (see
-    /// [`crate::parallel`]); each row runs the identical serial loop, making
-    /// the result bitwise equal for any thread count.
+    /// The single hottest kernel in the whole stack. Runs one of two
+    /// bitwise-identical variants chosen by [`crate::dispatch`]: the scalar
+    /// ikj reference loop or a register-blocked microkernel (see
+    /// `ops/microkernel.rs`). Output rows are independent, so they are
+    /// split across worker threads (see [`crate::parallel`]); every variant
+    /// preserves the per-element accumulation order, making the result
+    /// bitwise equal for any thread count *and* any `AUTOAC_KERNEL`
+    /// setting.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -367,23 +370,13 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let (mut out, zeroed) = Matrix::accum_scratch(m, n);
         let work = m.saturating_mul(k).saturating_mul(n);
+        let variant = crate::dispatch::select(crate::dispatch::KernelOp::MatMul, m, k, n, None);
+        let kernel = match variant {
+            crate::dispatch::Variant::Scalar => microkernel::matmul_scalar,
+            crate::dispatch::Variant::Blocked => microkernel::matmul_blocked,
+        };
         crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
-            for (i, out_row) in chunk.chunks_mut(n).enumerate() {
-                if !zeroed {
-                    out_row.fill(0.0);
-                }
-                let row = first_row + i;
-                let a_row = &self.data[row * k..(row + 1) * k];
-                for (p, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            kernel(&self.data, &other.data, k, n, first_row, chunk, zeroed);
         });
         out
     }
@@ -393,7 +386,7 @@ impl Matrix {
     /// Hot in backward passes (`dW = Xᵀ·dY`). Parallel over output rows;
     /// every output element accumulates its `p`-terms in ascending order —
     /// the same order as the serial kernel — so results stay bitwise equal
-    /// at any thread count.
+    /// at any thread count and for either [`crate::dispatch`] variant.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
@@ -405,23 +398,13 @@ impl Matrix {
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let (mut out, zeroed) = Matrix::accum_scratch(m, n);
         let work = k.saturating_mul(m).saturating_mul(n);
+        let variant = crate::dispatch::select(crate::dispatch::KernelOp::MatMulTn, m, k, n, None);
+        let kernel = match variant {
+            crate::dispatch::Variant::Scalar => microkernel::matmul_tn_scalar,
+            crate::dispatch::Variant::Blocked => microkernel::matmul_tn_blocked,
+        };
         crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
-            for (i_off, out_row) in chunk.chunks_mut(n).enumerate() {
-                if !zeroed {
-                    out_row.fill(0.0);
-                }
-                let i = first_row + i_off;
-                for p in 0..k {
-                    let a = self.data[p * m + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            kernel(&self.data, &other.data, k, m, n, first_row, chunk, zeroed);
         });
         out
     }
@@ -429,7 +412,8 @@ impl Matrix {
     /// `self * otherᵀ` without materializing the transpose.
     ///
     /// Hot in backward passes (`dX = dY·Wᵀ`). Output rows are independent
-    /// dot products, split across worker threads.
+    /// dot products, split across worker threads; both [`crate::dispatch`]
+    /// variants keep each dot's sequential accumulation order.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -441,15 +425,13 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::scratch(m, n);
         let work = m.saturating_mul(k).saturating_mul(n);
+        let variant = crate::dispatch::select(crate::dispatch::KernelOp::MatMulNt, m, k, n, None);
+        let kernel = match variant {
+            crate::dispatch::Variant::Scalar => microkernel::matmul_nt_scalar,
+            crate::dispatch::Variant::Blocked => microkernel::matmul_nt_blocked,
+        };
         crate::parallel::for_each_row_chunk(&mut out.data, n, work, |first_row, chunk| {
-            for (i_off, out_row) in chunk.chunks_mut(n).enumerate() {
-                let i = first_row + i_off;
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    *o = dot(a_row, b_row);
-                }
-            }
+            kernel(&self.data, &other.data, k, n, first_row, chunk);
         });
         out
     }

@@ -5,6 +5,7 @@ mod arith;
 mod fused;
 mod index;
 mod loss;
+pub(crate) mod microkernel;
 mod reduce;
 
 pub use fused::Act;

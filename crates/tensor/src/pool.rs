@@ -210,10 +210,20 @@ fn bucket_for(len: usize) -> usize {
     len.next_power_of_two().max(MIN_BUCKET)
 }
 
+/// Free-list slot for a bucket size, or `None` when the size is not a
+/// bucket the pool manages (not a power of two, below [`MIN_BUCKET`], or
+/// above the `MAX_BUCKET_LOG2` cap). The power-of-two and lower-bound
+/// checks matter: `trailing_zeros` of e.g. `96` is 5, and `5 -
+/// MIN_BUCKET_LOG2` would wrap to a huge index that quietly bypasses the
+/// free lists (`pop_free`'s `get_mut` hides it) or, worse, makes
+/// `push_free` resize the list vector to that index.
 #[inline]
 fn bucket_index(bucket: usize) -> Option<usize> {
+    if !bucket.is_power_of_two() {
+        return None;
+    }
     let log2 = bucket.trailing_zeros();
-    (log2 <= MAX_BUCKET_LOG2).then(|| (log2 - MIN_BUCKET_LOG2) as usize)
+    (MIN_BUCKET_LOG2..=MAX_BUCKET_LOG2).contains(&log2).then(|| (log2 - MIN_BUCKET_LOG2) as usize)
 }
 
 /// Pops a recycled buffer for `bucket`, if any.
@@ -716,6 +726,26 @@ mod tests {
         assert_eq!(bucket_for(64), 64);
         assert_eq!(bucket_for(65), 128);
         assert_eq!(bucket_for(1000), 1024);
+    }
+
+    #[test]
+    fn bucket_index_pins_both_range_edges() {
+        assert_eq!(bucket_index(MIN_BUCKET), Some(0));
+        assert_eq!(bucket_index(1 << MAX_BUCKET_LOG2), Some((MAX_BUCKET_LOG2 - MIN_BUCKET_LOG2) as usize));
+        // One past either edge is out of range, not a wrapped index.
+        assert_eq!(bucket_index(MIN_BUCKET / 2), None);
+        assert_eq!(bucket_index(1 << (MAX_BUCKET_LOG2 + 1)), None);
+    }
+
+    #[test]
+    fn bucket_index_rejects_non_bucket_sizes() {
+        // `trailing_zeros` alone would map 96 (tz = 5) below
+        // MIN_BUCKET_LOG2 and wrap the subtraction; such sizes must be
+        // reported as unmanaged instead.
+        assert_eq!(bucket_index(96), None);
+        assert_eq!(bucket_index(3), None);
+        assert_eq!(bucket_index(0), None);
+        assert_eq!(bucket_index((1 << MAX_BUCKET_LOG2) + (1 << 5)), None);
     }
 
     #[test]

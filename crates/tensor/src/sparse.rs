@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use crate::autograd::Tensor;
 use crate::matrix::Matrix;
+use crate::ops::microkernel;
 
 /// Immutable CSR matrix of `f32` weights.
 ///
@@ -248,22 +249,28 @@ impl Csr {
         let cols = x.cols();
         let (mut out, zeroed) = Matrix::accum_scratch(self.n_rows, cols);
         let work = self.nnz().saturating_mul(cols);
+        let variant = crate::dispatch::select(
+            crate::dispatch::KernelOp::Spmm,
+            self.n_rows,
+            self.n_cols,
+            cols,
+            Some(self.nnz()),
+        );
+        let kernel = match variant {
+            crate::dispatch::Variant::Scalar => microkernel::spmm_scalar,
+            crate::dispatch::Variant::Blocked => microkernel::spmm_blocked,
+        };
         crate::parallel::for_each_row_chunk(out.data_mut(), cols, work, |first_row, chunk| {
-            for (i, out_row) in chunk.chunks_mut(cols).enumerate() {
-                if !zeroed {
-                    out_row.fill(0.0);
-                }
-                let r = first_row + i;
-                for (self_c, v) in self.indices[self.indptr[r]..self.indptr[r + 1]]
-                    .iter()
-                    .zip(&self.values[self.indptr[r]..self.indptr[r + 1]])
-                {
-                    let x_row = x.row(*self_c as usize);
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
-                }
-            }
+            kernel(
+                &self.indptr,
+                &self.indices,
+                &self.values,
+                x.data(),
+                cols,
+                first_row,
+                chunk,
+                zeroed,
+            );
         });
         out
     }

@@ -1,0 +1,173 @@
+//! Property-style parity harness for the kernel dispatch variants.
+//!
+//! The contract under test is the one `crates/tensor/src/dispatch.rs`
+//! documents: for *any* shape and *any* thread count, every op in the
+//! matmul family produces bitwise identical results whether the scalar
+//! kernel, the blocked kernel, or the auto table runs. Shapes are drawn
+//! from an adversarial generator biased toward the places kernels break —
+//! tile-width boundaries (NR = 8, NRW = 32, MR edges), the KC = 256
+//! k-slab seam, single-row/column outputs — and the data generator
+//! sprinkles exact `0.0` and `-0.0` to exercise the zero-skip path whose
+//! removal would *not* be bitwise neutral.
+//!
+//! Variant coverage (checked by the `dispatch-parity-coverage` lint):
+//! matmul_scalar vs matmul_blocked, matmul_tn_scalar vs matmul_tn_blocked,
+//! matmul_nt_scalar vs matmul_nt_blocked, and spmm_scalar vs spmm_blocked,
+//! each at 1, 2, and 8 threads.
+
+use autoac_tensor::dispatch::{with_kernel, KernelChoice};
+use autoac_tensor::parallel::with_threads;
+use autoac_tensor::{Csr, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const CHOICES: [KernelChoice; 3] =
+    [KernelChoice::Scalar, KernelChoice::Blocked, KernelChoice::Auto];
+
+/// Cases per op. Each case runs 3 choices × 3 thread counts.
+const CASES: usize = 25;
+
+/// Dimensions clustered on power-of-two tile boundaries ±1 — the places
+/// where panel main loops hand off to tail code — plus a tail of larger
+/// sizes that cross the KC k-slab seam when drawn for `k`.
+fn adversarial_dim(rng: &mut StdRng) -> usize {
+    const BOUNDARY: [usize; 18] = [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 96];
+    match rng.gen_range(0..10) {
+        0..=6 => BOUNDARY[rng.gen_range(0..BOUNDARY.len())],
+        7 | 8 => rng.gen_range(1..128),
+        _ => rng.gen_range(200..300),
+    }
+}
+
+/// Random values with exact `0.0` (zero-skip path) and `-0.0` (whose sign
+/// an unskipped `0.0 * x` add could flip) sprinkled in.
+fn adversarial_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| match rng.gen_range(0..13) {
+                0 | 1 => 0.0,
+                2 => -0.0,
+                _ => rng.gen_range(-2.0f32..2.0),
+            })
+            .collect(),
+    )
+}
+
+fn adversarial_csr(rng: &mut StdRng, rows: usize, cols: usize) -> Csr {
+    let nnz = rng.gen_range(0..rows * cols.min(16) + 1);
+    Csr::from_coo(
+        rows,
+        cols,
+        (0..nnz).map(|_| {
+            (
+                rng.gen_range(0..rows) as u32,
+                rng.gen_range(0..cols) as u32,
+                rng.gen_range(-1.0f32..1.0),
+            )
+        }),
+    )
+}
+
+fn assert_bitwise(want: &Matrix, got: &Matrix, what: &str) {
+    assert_eq!(want.shape(), got.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in want.data().iter().zip(got.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs bitwise: {x} vs {y}"
+        );
+    }
+}
+
+/// Runs `f` under every (kernel choice, thread count) pair and asserts all
+/// nine results are bitwise equal to the serial scalar reference.
+fn check_all_variants(what: &str, f: impl Fn() -> Matrix) {
+    let reference = with_threads(1, || with_kernel(KernelChoice::Scalar, &f));
+    for choice in CHOICES {
+        for nt in THREAD_COUNTS {
+            let got = with_threads(nt, || with_kernel(choice, &f));
+            assert_bitwise(&reference, &got, &format!("{what} [{choice:?} @ {nt} threads]"));
+        }
+    }
+}
+
+#[test]
+fn matmul_scalar_and_matmul_blocked_agree_on_adversarial_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xAC01);
+    for case in 0..CASES {
+        let (m, k, n) =
+            (adversarial_dim(&mut rng), adversarial_dim(&mut rng), adversarial_dim(&mut rng));
+        let a = adversarial_matrix(&mut rng, m, k);
+        let b = adversarial_matrix(&mut rng, k, n);
+        check_all_variants(&format!("matmul case {case}: {m}x{k}x{n}"), || a.matmul(&b));
+    }
+}
+
+#[test]
+fn matmul_tn_scalar_and_matmul_tn_blocked_agree_on_adversarial_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xAC02);
+    for case in 0..CASES {
+        let (m, k, n) =
+            (adversarial_dim(&mut rng), adversarial_dim(&mut rng), adversarial_dim(&mut rng));
+        let a = adversarial_matrix(&mut rng, k, m);
+        let b = adversarial_matrix(&mut rng, k, n);
+        check_all_variants(&format!("matmul_tn case {case}: {m}x{k}x{n}"), || a.matmul_tn(&b));
+    }
+}
+
+#[test]
+fn matmul_nt_scalar_and_matmul_nt_blocked_agree_on_adversarial_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xAC03);
+    for case in 0..CASES {
+        let (m, k, n) =
+            (adversarial_dim(&mut rng), adversarial_dim(&mut rng), adversarial_dim(&mut rng));
+        let a = adversarial_matrix(&mut rng, m, k);
+        let b = adversarial_matrix(&mut rng, n, k);
+        check_all_variants(&format!("matmul_nt case {case}: {m}x{k}x{n}"), || a.matmul_nt(&b));
+    }
+}
+
+#[test]
+fn spmm_scalar_and_spmm_blocked_agree_on_adversarial_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xAC04);
+    for case in 0..CASES {
+        let (m, k, n) =
+            (adversarial_dim(&mut rng), adversarial_dim(&mut rng), adversarial_dim(&mut rng));
+        let a = adversarial_csr(&mut rng, m, k);
+        let x = adversarial_matrix(&mut rng, k, n);
+        check_all_variants(
+            &format!("spmm case {case}: {m}x{k}x{n} nnz={}", a.nnz()),
+            || a.matmul_dense(&x),
+        );
+    }
+}
+
+#[test]
+fn env_override_shapes_are_covered_by_fixed_seams() {
+    // Deterministic seam shapes that the random draw might miss: exact
+    // tile widths, one past them, the KC k-slab boundary, and n = 1
+    // (the column-vector case the dispatch table keeps scalar).
+    let mut rng = StdRng::seed_from_u64(0xAC05);
+    for (m, k, n) in [
+        (4, 256, 32),
+        (5, 257, 33),
+        (2, 512, 40),
+        (8, 300, 8),
+        (3, 300, 1),
+        (1, 1, 1),
+        (9, 16, 7),
+    ] {
+        let a = adversarial_matrix(&mut rng, m, k);
+        let b = adversarial_matrix(&mut rng, k, n);
+        check_all_variants(&format!("seam matmul {m}x{k}x{n}"), || a.matmul(&b));
+        let at = adversarial_matrix(&mut rng, k, m);
+        check_all_variants(&format!("seam matmul_tn {m}x{k}x{n}"), || at.matmul_tn(&b));
+        let bt = adversarial_matrix(&mut rng, n, k);
+        check_all_variants(&format!("seam matmul_nt {m}x{k}x{n}"), || a.matmul_nt(&bt));
+        let s = adversarial_csr(&mut rng, m, k);
+        check_all_variants(&format!("seam spmm {m}x{k}x{n}"), || s.matmul_dense(&b));
+    }
+}

@@ -21,7 +21,16 @@
 #    digests (instrumentation is read-only), and the enabled run must
 #    export an OBS_smoke.jsonl that parses line by line and carries the
 #    promised span tree and trajectory series (the binary self-validates
-#    and exits non-zero on any miss).
+#    and exits non-zero on any miss);
+#  - the kernel dispatch pass: the same short search + retrain pinned to
+#    AUTOAC_KERNEL=scalar, =blocked, and =auto must produce byte-identical
+#    result digests (the microkernels' bitwise-equality contract, end to
+#    end), plus a bench_kernels smoke run that A/B-times every kernel pair
+#    and asserts bitwise parity on each measured shape.
+#
+# The test suites run under AUTOAC_SLOW_TESTS=1: the default (fast) test
+# profile shrinks end-to-end budgets for interactive iteration; verify is
+# where the full original budgets are exercised.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -33,10 +42,10 @@ echo "== cargo build --release =="
 cargo build --release
 
 echo "== cargo test -q (AUTOAC_POOL=0, AUTOAC_NUM_THREADS=1: no recycling, serial kernels) =="
-AUTOAC_POOL=0 AUTOAC_NUM_THREADS=1 cargo test -q
+AUTOAC_SLOW_TESTS=1 AUTOAC_POOL=0 AUTOAC_NUM_THREADS=1 cargo test -q
 
 echo "== cargo test -q (pool enabled, AUTOAC_NUM_THREADS=${MAX_THREADS}, parallel kernels) =="
-AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
+AUTOAC_SLOW_TESTS=1 AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
 
 echo "== checking pass: autoac-lint, suite under AUTOAC_CHECK=1, check_smoke =="
 cargo run -q --release -p autoac-check --bin autoac-lint \
@@ -98,4 +107,18 @@ diff "$WORK/obs_off.json" "$WORK/obs_on.json" \
   || { echo "verify.sh: FAIL — AUTOAC_OBS=1 perturbed the training trajectory"; exit 1; }
 echo "   AUTOAC_OBS=1 digest is byte-identical to AUTOAC_OBS=0; OBS_smoke.jsonl validated"
 
-echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, and obs smoke OK"
+echo "== kernel dispatch pass (AUTOAC_KERNEL digest identity + bench_kernels smoke) =="
+for kernel in scalar blocked auto; do
+  AUTOAC_KERNEL="$kernel" "$OBS_SMOKE" "${OBS_ARGS[@]}" --out "$WORK/kernel_$kernel.json"
+done
+diff "$WORK/kernel_scalar.json" "$WORK/kernel_blocked.json" \
+  || { echo "verify.sh: FAIL — blocked kernels diverged from scalar end to end"; exit 1; }
+diff "$WORK/kernel_scalar.json" "$WORK/kernel_auto.json" \
+  || { echo "verify.sh: FAIL — auto dispatch diverged from scalar end to end"; exit 1; }
+echo "   AUTOAC_KERNEL=scalar/blocked/auto digests are byte-identical"
+# Smoke-scale A/B bench: asserts bitwise kernel parity on every measured
+# shape (the committed results/BENCH_kernels.json comes from a full run).
+./target/release/bench_kernels --smoke 1 --out "$WORK/bench_kernels_smoke.json" \
+  || { echo "verify.sh: FAIL — bench_kernels smoke (parity or bench) failed"; exit 1; }
+
+echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, obs smoke, and kernel dispatch OK"

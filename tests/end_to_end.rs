@@ -1,5 +1,16 @@
 //! Cross-crate integration tests: the full AutoAC pipeline from dataset
 //! generation through search, retraining, and evaluation.
+//!
+//! Every test runs in one of two profiles:
+//!
+//! - **fast** (default) — shrunk epoch/seed budgets chosen as the smallest
+//!   that still clear every assertion with margin. This keeps the tier-1
+//!   suite interactive (~2 min wall on one core instead of ~6.5).
+//! - **slow** (`AUTOAC_SLOW_TESTS=1`) — the original full budgets.
+//!   `verify.sh` runs this profile; set it locally when touching search or
+//!   training code.
+//!
+//! The assertions are identical in both profiles — only budgets differ.
 
 use autoac::prelude::*;
 use rand::rngs::StdRng;
@@ -7,6 +18,21 @@ use rand::SeedableRng;
 
 fn tiny(name: &str, seed: u64) -> Dataset {
     synth::generate(&presets::by_name(name).unwrap(), Scale::Tiny, seed)
+}
+
+/// True when the full (original-budget) profile was requested.
+fn slow() -> bool {
+    std::env::var("AUTOAC_SLOW_TESTS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Picks the fast-profile value by default, the original under
+/// `AUTOAC_SLOW_TESTS`.
+fn sized(fast: usize, full: usize) -> usize {
+    if slow() {
+        full
+    } else {
+        fast
+    }
 }
 
 fn gnn_for(data: &Dataset) -> GnnConfig {
@@ -27,8 +53,8 @@ fn autoac_end_to_end_on_every_classification_dataset() {
         let gnn = gnn_for(&data);
         let ac = AutoAcConfig {
             clusters: 4,
-            search_epochs: 8,
-            train: TrainConfig { epochs: 40, ..Default::default() },
+            search_epochs: sized(3, 8),
+            train: TrainConfig { epochs: sized(16, 40), ..Default::default() },
             ..Default::default()
         };
         let run = run_autoac_classification(&data, Backbone::SimpleHgn, &gnn, &ac, 0);
@@ -51,16 +77,16 @@ fn autoac_completion_competitive_with_zero_fill_on_dblp() {
     // in the Table II/VI harness.
     let data = tiny("dblp", 1);
     let gnn = gnn_for(&data);
-    let train = TrainConfig { epochs: 60, ..Default::default() };
+    let train = TrainConfig { epochs: sized(20, 60), ..Default::default() };
     let mut zero_scores = Vec::new();
     let mut auto_scores = Vec::new();
-    for seed in 0..3u64 {
+    for seed in 0..sized(2, 3) as u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let zero_pipe =
             Pipeline::new(&data, Backbone::SimpleHgn, &gnn, CompletionMode::Zero, &mut rng);
         zero_scores.push(train_node_classification(&zero_pipe, &data, &train, seed).micro_f1);
         let ac =
-            AutoAcConfig { clusters: 4, search_epochs: 15, train, ..Default::default() };
+            AutoAcConfig { clusters: 4, search_epochs: sized(5, 15), train, ..Default::default() };
         let auto = run_autoac_classification(&data, Backbone::SimpleHgn, &gnn, &ac, seed);
         auto_scores.push(auto.outcome.micro_f1);
     }
@@ -85,8 +111,8 @@ fn link_prediction_end_to_end() {
     let gnn = GnnConfig { in_dim: 24, hidden: 24, out_dim: 24, layers: 2, ..Default::default() };
     let ac = AutoAcConfig {
         clusters: 4,
-        search_epochs: 6,
-        train: TrainConfig { epochs: 30, ..Default::default() },
+        search_epochs: sized(3, 6),
+        train: TrainConfig { epochs: sized(15, 30), ..Default::default() },
         ..Default::default()
     };
     let run = run_autoac_link_prediction(&split, Backbone::SimpleHgnLp, &gnn, &ac, 2);
@@ -112,7 +138,7 @@ fn hgnnac_baseline_end_to_end() {
         Backbone::SimpleHgn,
         &gnn,
         &hc,
-        &TrainConfig { epochs: 40, ..Default::default() },
+        &TrainConfig { epochs: sized(15, 40), ..Default::default() },
         3,
     );
     assert!(prelearn > 0.0, "pre-learning must be timed");
@@ -149,8 +175,8 @@ fn every_backbone_survives_autoac_search() {
     let gnn = gnn_for(&data);
     let ac = AutoAcConfig {
         clusters: 4,
-        search_epochs: 3,
-        train: TrainConfig { epochs: 8, ..Default::default() },
+        search_epochs: sized(2, 3),
+        train: TrainConfig { epochs: sized(4, 8), ..Default::default() },
         ..Default::default()
     };
     for backbone in [
