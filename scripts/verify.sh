@@ -9,9 +9,9 @@
 #    run SIGKILLed mid-search, resumed from its snapshots, must produce a
 #    byte-identical result digest to an uninterrupted run;
 #  - the allocation benchmark (bench_alloc), which trains the same seeded
-#    model with the pool off and on in one process, asserts bitwise-equal
-#    metrics, and writes epoch-time + hit-rate numbers to
-#    results/BENCH_alloc.json;
+#    model with the pool off and on in one process and asserts bitwise-equal
+#    metrics (the smoke run writes its numbers to a temp dir; the committed
+#    results/BENCH_alloc.json comes from a paper-scale run);
 #  - the checking pass: autoac-lint must exit clean over the repo, the full
 #    suite must pass with AUTOAC_CHECK=1 armed (zero sanitizer findings on
 #    clean code), and check_smoke must prove every analysis catches its
@@ -95,7 +95,9 @@ echo "== allocation benchmark (bench_alloc → results/BENCH_alloc.json) =="
 # produced at --scale paper, where allocation dominates and the pool's
 # speedup is largest. The bitwise-identical-metrics assertion inside the
 # binary is the part verify depends on.
-./target/release/bench_alloc --scale tiny --epochs 10
+# --out keeps the smoke run from clobbering the committed paper-scale
+# results/BENCH_alloc.json.
+./target/release/bench_alloc --scale tiny --epochs 10 --out "$WORK/bench_alloc_smoke.json"
 
 echo "== observability pass (obs_smoke: bitwise identity + JSONL validation) =="
 OBS_SMOKE="./target/release/obs_smoke"
