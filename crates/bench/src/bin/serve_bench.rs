@@ -1,0 +1,340 @@
+//! Serving benchmark and HTTP driver.
+//!
+//! Two modes:
+//!
+//! **In-process A/B (default)** — trains a small checkpoint, then runs the
+//! same closed-loop concurrent client load twice against an in-process
+//! server: once with micro-batching enabled, once disabled. Reports
+//! throughput, client-observed p50/p99 latency (obs power-of-two
+//! histogram quantiles), and server-side batch statistics, asserts the
+//! two phases' responses are **bitwise identical**, and writes
+//! `results/BENCH_serve.json`.
+//!
+//! **External driver (`--connect HOST:PORT`)** — drives an already
+//! running `autoac_serve` process with the same closed-loop load, checks
+//! `/healthz`, validates that `/metrics` parses as Prometheus exposition
+//! text, prints the response digest (so `scripts/verify.sh` can diff a
+//! batched against an unbatched server), and optionally issues a graceful
+//! `POST /admin/shutdown` (`--shutdown`).
+//!
+//! ```text
+//! serve_bench [--smoke] [--out FILE]              # in-process A/B
+//! serve_bench --connect HOST:PORT [--clients N] [--requests N]
+//!             [--shutdown]                        # drive external server
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use autoac_core::{train_serve_state, InferenceModel, ServeTrainSpec, TrainConfig};
+use autoac_data::json::{self, Value};
+use autoac_serve::{BatchConfig, Client, ServeConfig, Server};
+
+/// Fixed pool of node sets every client cycles through, so each (set,
+/// checkpoint) pair has one well-defined canonical response.
+const NUM_SETS: usize = 32;
+const NODES_PER_SET: usize = 4;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn make_sets(num_nodes: usize) -> Vec<Vec<usize>> {
+    (0..NUM_SETS)
+        .map(|i| (0..NODES_PER_SET).map(|j| (i * 37 + j * 11 + 1) % num_nodes).collect())
+        .collect()
+}
+
+fn nodes_body(nodes: &[usize]) -> String {
+    let ids: Vec<String> = nodes.iter().map(usize::to_string).collect();
+    format!("{{\"nodes\":[{}]}}", ids.join(","))
+}
+
+struct PhaseStats {
+    wall_secs: f64,
+    total_requests: usize,
+    p50_us: f64,
+    p99_us: f64,
+    /// Canonical response body per node set.
+    canon: Vec<String>,
+    digest: u64,
+    /// Everything recorded while the phase ran — client latency plus the
+    /// server-side `serve_*` counters and histograms (shared registry).
+    report: autoac_obs::ObsReport,
+}
+
+/// Closed-loop load: `clients` threads, each issuing `requests` classify
+/// calls over one keep-alive connection. Asserts that every response for
+/// a given node set is identical across clients and over time.
+fn run_phase(addr: &str, clients: usize, requests: usize, sets: &[Vec<usize>]) -> PhaseStats {
+    let _ = autoac_obs::drain(); // clean slate for the latency histogram
+    let sets = Arc::new(sets.to_vec());
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let sets = Arc::clone(&sets);
+            let addr = addr.to_string();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr.as_str()).expect("connect");
+                let mut seen: Vec<Option<String>> = vec![None; sets.len()];
+                for i in 0..requests {
+                    let si = (ci * 7 + i) % sets.len();
+                    let body = nodes_body(&sets[si]);
+                    let r0 = Instant::now();
+                    let r = c.post("/v1/classify", &body).expect("classify");
+                    autoac_obs::hist_record("bench_client_ns", r0.elapsed().as_nanos() as f64);
+                    assert_eq!(r.status, 200, "{}", r.text());
+                    let text = r.text();
+                    match &seen[si] {
+                        Some(prev) => assert_eq!(
+                            prev, &text,
+                            "responses for one node set must never vary"
+                        ),
+                        None => seen[si] = Some(text),
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut canon: Vec<Option<String>> = vec![None; sets.len()];
+    for h in handles {
+        for (si, body) in h.join().expect("client thread").into_iter().enumerate() {
+            let Some(body) = body else { continue };
+            match &canon[si] {
+                Some(prev) => {
+                    assert_eq!(prev, &body, "responses must agree across clients")
+                }
+                None => canon[si] = Some(body),
+            }
+        }
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let rep = autoac_obs::drain();
+    let (p50, p99) = match rep.hists.get("bench_client_ns") {
+        Some(h) => (h.quantile(0.5) / 1e3, h.quantile(0.99) / 1e3),
+        None => (f64::NAN, f64::NAN),
+    };
+    let canon: Vec<String> = canon.into_iter().map(Option::unwrap_or_default).collect();
+    let mut all = Vec::new();
+    for body in &canon {
+        all.extend_from_slice(body.as_bytes());
+        all.push(b'\n');
+    }
+    PhaseStats {
+        wall_secs,
+        total_requests: clients * requests,
+        p50_us: p50,
+        p99_us: p99,
+        digest: fnv1a64(&all),
+        canon,
+        report: rep,
+    }
+}
+
+/// Validates Prometheus exposition text: every line is a comment or
+/// `name[{labels}] value` with a parseable value. Returns the series
+/// count.
+fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut series = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        let name_end = name_part.find('{').unwrap_or(name_part.len());
+        let name = &name_part[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: bad metric name: {line:?}", lineno + 1));
+        }
+        if name_part[name_end..].starts_with('{') && !name_part.ends_with('}') {
+            return Err(format!("line {}: unclosed label set: {line:?}", lineno + 1));
+        }
+        let ok = matches!(value_part, "+Inf" | "-Inf" | "NaN")
+            || value_part.parse::<f64>().is_ok();
+        if !ok {
+            return Err(format!("line {}: bad value {value_part:?}", lineno + 1));
+        }
+        series += 1;
+    }
+    if series == 0 {
+        return Err("no series in exposition text".into());
+    }
+    Ok(series)
+}
+
+fn main() {
+    let mut out_path = PathBuf::from("results/BENCH_serve.json");
+    let mut connect: Option<String> = None;
+    let mut smoke = false;
+    let mut shutdown = false;
+    let mut clients = 8usize;
+    let mut requests = 200usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().expect("flag takes a value");
+        match flag.as_str() {
+            "--out" => out_path = PathBuf::from(value()),
+            "--connect" => connect = Some(value()),
+            "--clients" => clients = value().parse().expect("--clients N"),
+            "--requests" => requests = value().parse().expect("--requests N"),
+            "--smoke" => smoke = true,
+            "--shutdown" => shutdown = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    if smoke {
+        clients = clients.min(4);
+        requests = requests.min(40);
+    }
+    autoac_obs::set_force(Some(true));
+
+    match connect {
+        Some(addr) => drive_external(&addr, clients, requests, shutdown),
+        None => ab_benchmark(&out_path, clients, requests, smoke),
+    }
+}
+
+fn drive_external(addr: &str, clients: usize, requests: usize, shutdown: bool) {
+    let mut c = Client::connect(addr).expect("connect");
+    let health = c.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.text());
+    let doc = json::parse(&health.text()).expect("healthz json");
+    let num_nodes = doc.get("nodes").and_then(Value::as_usize).expect("nodes field");
+    let ckpt = doc.get("ckpt").and_then(Value::as_str).expect("ckpt field").to_string();
+    println!("healthz: ok, ckpt={ckpt}, nodes={num_nodes}");
+
+    let sets = make_sets(num_nodes);
+    let stats = run_phase(addr, clients, requests, &sets);
+    println!(
+        "load: {} requests in {:.2}s ({:.0} req/s), p50 {:.0}us p99 {:.0}us",
+        stats.total_requests,
+        stats.wall_secs,
+        stats.total_requests as f64 / stats.wall_secs,
+        stats.p50_us,
+        stats.p99_us,
+    );
+    println!("digest: {:016x}", stats.digest);
+
+    let m = c.get("/metrics").expect("metrics");
+    assert_eq!(m.status, 200);
+    let text = m.text();
+    let series = validate_exposition(&text).expect("exposition text must parse");
+    assert!(
+        text.contains("autoac_serve_requests_total"),
+        "serving counters must be exported"
+    );
+    println!("metrics: ok ({series} series)");
+
+    if shutdown {
+        let r = c.post("/admin/shutdown", "{}").expect("shutdown");
+        assert_eq!(r.status, 200);
+        println!("shutdown: ok");
+    }
+}
+
+fn ab_benchmark(out_path: &PathBuf, clients: usize, requests: usize, smoke: bool) {
+    let epochs = if smoke { 2 } else { 20 };
+    let spec = ServeTrainSpec {
+        train: TrainConfig { epochs, patience: epochs, ..Default::default() },
+        ..Default::default()
+    };
+    println!(
+        "serve_bench: training {} / {} ({} epochs), then {clients} clients x {requests} requests",
+        spec.preset, spec.scale, epochs
+    );
+    let (state, outcome) = train_serve_state(&spec).expect("train");
+    let ckpt = format!("{:016x}", state.meta.config_fp);
+    let num_nodes = InferenceModel::from_state(&state).expect("load").num_nodes();
+    let sets = make_sets(num_nodes);
+
+    let mut phases = Vec::new();
+    for batching in [true, false] {
+        let cfg = ServeConfig {
+            workers: clients.max(2),
+            batch: BatchConfig { batching, ..Default::default() },
+            ..Default::default()
+        };
+        let srv = Server::start(state.clone(), &cfg).expect("start server");
+        let addr = srv.addr().to_string();
+        let stats = run_phase(&addr, clients, requests, &sets);
+        srv.stop();
+        // Server-side batch statistics share the registry with the client
+        // latency histogram, so they come out of the phase's own report.
+        let forwards = stats.report.counter("serve_batches_total");
+        let mean_batch = stats
+            .report
+            .hists
+            .get("serve_batch_size")
+            .filter(|h| h.count > 0)
+            .map_or(f64::NAN, |h| h.sum / h.count as f64);
+        println!(
+            "  batching={batching:<5} {:>7.0} req/s  p50 {:>6.0}us  p99 {:>6.0}us  \
+             {forwards} forwards, mean batch {mean_batch:.2}",
+            stats.total_requests as f64 / stats.wall_secs,
+            stats.p50_us,
+            stats.p99_us,
+        );
+        phases.push((batching, stats, forwards, mean_batch));
+    }
+
+    let (_, on, on_fwd, on_mean) = &phases[0];
+    let (_, off, off_fwd, off_mean) = &phases[1];
+    assert_eq!(
+        on.canon, off.canon,
+        "batched responses must be bitwise identical to single-request responses"
+    );
+    assert_eq!(on.digest, off.digest);
+    println!(
+        "  digests : {:016x} == {:016x} (batched responses bitwise identical)",
+        on.digest, off.digest
+    );
+
+    let rps_on = on.total_requests as f64 / on.wall_secs;
+    let rps_off = off.total_requests as f64 / off.wall_secs;
+    let json = format!(
+        "{{\n  \"preset\": \"{}\",\n  \"scale\": \"{}\",\n  \"ckpt\": \"{ckpt}\",\n  \
+         \"macro_f1\": {:.6},\n  \"micro_f1\": {:.6},\n  \
+         \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \
+         \"batching_on\": {{\n    \"throughput_rps\": {rps_on:.1},\n    \
+         \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \
+         \"forwards\": {on_fwd},\n    \"mean_batch\": {on_mean:.2}\n  }},\n  \
+         \"batching_off\": {{\n    \"throughput_rps\": {rps_off:.1},\n    \
+         \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \
+         \"forwards\": {off_fwd},\n    \"mean_batch\": {off_mean:.2}\n  }},\n  \
+         \"throughput_speedup\": {:.2},\n  \
+         \"digest\": \"{:016x}\",\n  \"bitwise_identical\": true\n}}\n",
+        spec.preset,
+        spec.scale,
+        outcome.macro_f1,
+        outcome.micro_f1,
+        on.p50_us,
+        on.p99_us,
+        off.p50_us,
+        off.p99_us,
+        rps_on / rps_off,
+        on.digest,
+    );
+    if let Some(dir) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    fs::write(out_path, json).expect("write bench report");
+    println!("  wrote   : {}", out_path.display());
+}

@@ -1,0 +1,25 @@
+//! Seeded lint fixture — NOT compiled into any crate. Mirrors the serving
+//! crate's layout (`crates/serve/src/`) so the fixture tree proves the lint
+//! rules cover the new subsystem: library code in the server must not bare-
+//! unwrap (a panicking worker drops its connection queue slot) and must not
+//! write straight to stderr (warnings route through the counted
+//! `autoac_obs::warn` so `/metrics` sees them).
+
+pub fn seeded_route(body: &str) -> usize {
+    // Violation 1 (unwrap-in-lib): a malformed request would panic the
+    // worker instead of returning HTTP 400.
+    let parsed: usize = body.trim().parse().unwrap();
+    // Violation 2 (eprintln-in-lib): invisible to the metrics endpoint;
+    // should be `autoac_obs::warn("serve", ...)`.
+    eprintln!("served node {parsed}");
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules stay exempt even inside the serving fixture.
+    fn unflagged() {
+        let _ = "7".trim().parse::<usize>().unwrap();
+        eprintln!("tests may print");
+    }
+}

@@ -34,10 +34,12 @@ pub mod crc;
 pub mod dir;
 pub mod format;
 pub mod policy;
+pub mod serve;
 pub mod state;
 
 pub use crc::crc32;
 pub use dir::CheckpointDir;
 pub use format::{CkptError, Snapshot, MAGIC, VERSION};
 pub use policy::CheckpointPolicy;
+pub use serve::{ServeState, SERVE_KIND};
 pub use state::{Fingerprint, RunMeta, SearchState, TrainState};

@@ -74,14 +74,14 @@ pub struct RunMeta {
 }
 
 impl RunMeta {
-    fn write(&self, snap: &mut Snapshot) {
+    pub(crate) fn write(&self, snap: &mut Snapshot) {
         snap.put_str("meta.kind", &self.kind);
         snap.put_u64("meta.graph_fp", self.graph_fp);
         snap.put_u64("meta.config_fp", self.config_fp);
         snap.put_u64("meta.seed", self.seed);
     }
 
-    fn read(snap: &Snapshot) -> Result<Self, CkptError> {
+    pub(crate) fn read(snap: &Snapshot) -> Result<Self, CkptError> {
         Ok(Self {
             kind: snap.get_str("meta.kind")?,
             graph_fp: snap.get_u64("meta.graph_fp")?,

@@ -25,12 +25,14 @@
 pub mod cluster;
 pub mod hgca;
 pub mod hgnnac;
+pub mod infer;
 pub mod pipeline;
 pub mod proximal;
 pub mod search;
 pub mod trainer;
 
 pub use hgca::{pretrain_hgca, run_hgca_classification, HgcaConfig, HgcaPipe};
+pub use infer::{train_serve_state, InferenceModel, ServeStateInfo, ServeTrainSpec};
 pub use hgnnac::{run_hgnnac_classification, HgnnAcConfig, HgnnAcPipe};
 pub use pipeline::{random_assignment, Backbone, CompletionMode, ForwardPipe, Pipeline};
 pub use search::{

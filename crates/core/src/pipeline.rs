@@ -59,6 +59,43 @@ impl Backbone {
         }
     }
 
+    /// Stable lowercase tag, unique per variant (unlike [`Self::name`],
+    /// which maps both SimpleHGN variants to one display string). Used as
+    /// the on-disk identity in serving checkpoints.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Backbone::Gcn => "gcn",
+            Backbone::Gat => "gat",
+            Backbone::SimpleHgn => "simple_hgn",
+            Backbone::SimpleHgnLp => "simple_hgn_lp",
+            Backbone::Magnn => "magnn",
+            Backbone::Han => "han",
+            Backbone::HetSann => "het_sann",
+            Backbone::Hgt => "hgt",
+            Backbone::HetGnn => "het_gnn",
+            Backbone::Gtn => "gtn",
+            Backbone::Gatne => "gatne",
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn parse(s: &str) -> Option<Backbone> {
+        let all = [
+            Backbone::Gcn,
+            Backbone::Gat,
+            Backbone::SimpleHgn,
+            Backbone::SimpleHgnLp,
+            Backbone::Magnn,
+            Backbone::Han,
+            Backbone::HetSann,
+            Backbone::Hgt,
+            Backbone::HetGnn,
+            Backbone::Gtn,
+            Backbone::Gatne,
+        ];
+        all.into_iter().find(|b| b.tag() == s)
+    }
+
     /// Instantiates the backbone for a dataset.
     pub fn build(self, data: &Dataset, cfg: &GnnConfig, rng: &mut StdRng) -> Box<dyn Gnn> {
         self.build_cached(data, cfg, &OpCache::new(&data.graph), rng)

@@ -178,11 +178,20 @@ pub fn f32_array(data: &[f32]) -> Value {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting depth the parser accepts. The parser is
+/// recursive, so without a limit a hostile body of `[[[[…` (one byte per
+/// level) exhausts the thread stack and aborts the process instead of
+/// returning an error — unacceptable now that the serving layer feeds it
+/// network input. 128 is far deeper than any document this workspace
+/// writes (dataset files nest 3–4 levels, serve bodies 2) while keeping
+/// worst-case recursion to a few KiB of stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(ParseError { at: pos, msg: "trailing characters after document" });
@@ -205,8 +214,11 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8, msg: &'static str) -> Result<(),
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
     skip_ws(bytes, pos);
+    if depth >= MAX_DEPTH {
+        return Err(ParseError { at: *pos, msg: "nesting too deep" });
+    }
     match bytes.get(*pos) {
         None => Err(ParseError { at: *pos, msg: "unexpected end of input" }),
         Some(b'n') => parse_lit(bytes, pos, b"null", Value::Null),
@@ -222,7 +234,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 return Ok(Value::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -247,7 +259,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':', "expected ':' after object key")?;
-                fields.push((key, parse_value(bytes, pos)?));
+                fields.push((key, parse_value(bytes, pos, depth + 1)?));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,

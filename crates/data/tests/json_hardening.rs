@@ -1,0 +1,181 @@
+//! Adversarial-input property tests for the strict JSON parser.
+//!
+//! The parser now sits on a network boundary (`autoac-serve` feeds it raw
+//! request bodies), so beyond correctness on well-formed documents it must
+//! *reject* — never panic on, never recurse to death on — arbitrary bytes:
+//! truncated documents, trailing garbage, malformed escapes, and nesting
+//! bombs. Every test here either round-trips a valid document or asserts a
+//! clean `Err`; a panic or abort anywhere fails the suite.
+//!
+//! The vendored proptest has no regex-string or recursive strategies, so
+//! the input generators are small hand-rolled [`Strategy`] impls.
+
+use autoac_data::json::{self, Value};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// `parse` must return, not panic — exercised on every input below.
+fn parse_total(input: &str) -> Result<Value, json::ParseError> {
+    json::parse(input)
+}
+
+/// Strategy: strings of up to `max_len` chars drawn from `charset`.
+struct Soup {
+    charset: &'static [char],
+    max_len: usize,
+}
+
+impl Strategy for Soup {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let len = rng.gen_range(0..self.max_len + 1);
+        (0..len).map(|_| self.charset[rng.gen_range(0..self.charset.len())]).collect()
+    }
+}
+
+/// Strategy: well-formed JSON document trees, nesting bounded well under
+/// [`json::MAX_DEPTH`].
+struct Doc {
+    max_depth: usize,
+}
+
+fn gen_doc(rng: &mut StdRng, depth: usize) -> Value {
+    let leafy = depth == 0 || rng.gen_range(0..3) == 0;
+    if leafy {
+        match rng.gen_range(0..4) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_range(0..2) == 0),
+            2 => {
+                // f32-valued numbers, the writer's bit-exact contract.
+                let x = f32::from_bits(rng.gen::<u32>());
+                Value::Num(if x.is_finite() { x as f64 } else { 0.0 })
+            }
+            _ => {
+                // Strings with escapes, controls, unicode.
+                const CHARS: &[char] =
+                    &['a', 'b', '"', '\\', '\n', '\t', '\u{1}', 'é', '😀', '/', ' '];
+                let s = Soup { charset: CHARS, max_len: 10 };
+                Value::Str(s.generate(rng))
+            }
+        }
+    } else if rng.gen_range(0..2) == 0 {
+        let n = rng.gen_range(0..4);
+        Value::Arr((0..n).map(|_| gen_doc(rng, depth - 1)).collect())
+    } else {
+        let n = rng.gen_range(0..4);
+        Value::Obj(
+            (0..n)
+                .map(|i| (format!("k{i}"), gen_doc(rng, depth - 1)))
+                .collect(),
+        )
+    }
+}
+
+impl Strategy for Doc {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Value {
+        gen_doc(rng, self.max_depth)
+    }
+}
+
+#[test]
+fn depth_limit_rejects_nesting_bombs_without_blowing_the_stack() {
+    // One byte per level: without the depth limit this overflows the
+    // thread stack long before the allocator notices anything.
+    for bomb in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+        let err = parse_total(&bomb).expect_err("nesting bomb must be rejected");
+        assert_eq!(err.msg, "nesting too deep", "{err}");
+    }
+    // Mixed nesting counts against the same budget.
+    let mixed = "[{\"k\":".repeat(50_000) + "1";
+    assert!(parse_total(&mixed).is_err());
+}
+
+#[test]
+fn depth_limit_boundary_is_exact() {
+    // MAX_DEPTH-deep documents parse; one level deeper is rejected.
+    let deepest = "[".repeat(json::MAX_DEPTH - 1) + "1" + &"]".repeat(json::MAX_DEPTH - 1);
+    assert!(parse_total(&deepest).is_ok(), "depth MAX_DEPTH-1 must parse");
+    let too_deep = "[".repeat(json::MAX_DEPTH) + "1" + &"]".repeat(json::MAX_DEPTH);
+    let err = parse_total(&too_deep).expect_err("depth MAX_DEPTH must be rejected");
+    assert_eq!(err.msg, "nesting too deep");
+}
+
+#[test]
+fn malformed_escapes_error_cleanly() {
+    for bad in [
+        r#""\x""#,         // unknown escape
+        r#""\u12""#,       // truncated \u
+        r#""\u12zz""#,     // non-hex \u
+        r#""\ud800""#,     // lone high surrogate
+        r#""\ud800\n""#,   // high surrogate followed by non-surrogate escape
+        r#""\ud800A""#,    // high surrogate + raw char
+        r#""\"#,           // escape at end of input
+        "\"raw\u{1}ctl\"", // raw control character
+    ] {
+        assert!(parse_total(bad).is_err(), "must reject {bad:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Biased toward JSON structural bytes so the container/escape paths
+    // actually get hit: either parses or errors; no panic, no abort.
+    #[test]
+    fn jsonish_soup_never_panics(input in Soup {
+        charset: &['[', ']', '{', '}', '"', ',', ':', '\\', '-', '0', '1', '9',
+                   '.', 'e', '+', 'n', 'u', 'l', 't', 'r', 'f', ' ', '\n', 'é'],
+        max_len: 48,
+    }) {
+        let _ = parse_total(&input);
+    }
+
+    // Every valid document round-trips writer → parser exactly.
+    #[test]
+    fn roundtrip_is_exact(doc in Doc { max_depth: 5 }) {
+        let text = json::to_string(&doc);
+        let back = parse_total(&text).expect("writer output must parse");
+        prop_assert_eq!(back, doc);
+    }
+
+    // Truncating a valid document anywhere must produce an error, not a
+    // panic. Only container-wrapped documents are used: every proper
+    // prefix of `[…]` is incomplete, whereas a bare scalar like `123`
+    // has prefixes that legitimately parse.
+    #[test]
+    fn truncation_errors_cleanly(doc in Doc { max_depth: 4 }, frac in 0.0f64..1.0) {
+        let text = json::to_string(&Value::Arr(vec![doc]));
+        let mut cut = ((text.len() as f64 * frac) as usize).min(text.len() - 1);
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(parse_total(&text[..cut]).is_err(), "prefix {:?}", &text[..cut]);
+    }
+
+    // Trailing garbage after a complete document is always rejected. The
+    // container wrap keeps the document self-delimiting (`7` + `1` would
+    // merge into the longer number `71`; `[7]` + `1` cannot).
+    #[test]
+    fn trailing_garbage_is_rejected(doc in Doc { max_depth: 3 }, tail in Soup {
+        charset: &['a', 'z', '{', '[', '"', '1'],
+        max_len: 8,
+    }) {
+        if !tail.is_empty() {
+            let text = json::to_string(&Value::Arr(vec![doc])) + &tail;
+            prop_assert!(parse_total(&text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    // Escape-sequence soup inside a string literal: parses to the right
+    // unescaped content or errors — never panics.
+    #[test]
+    fn escape_soup_never_panics(body in Soup {
+        charset: &['\\', 'n', 't', 'u', '"', 'd', '8', '0', 'a', 'f', 'F', ' ', '/'],
+        max_len: 16,
+    }) {
+        let _ = parse_total(&format!("\"{body}\""));
+    }
+}

@@ -101,6 +101,41 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) by walking the
+    /// bucket counts to the continuous rank `q * (count - 1) + 1` and
+    /// interpolating linearly inside the bucket it lands in. The
+    /// interpolation range is clamped to the exact recorded `[min, max]`,
+    /// which pins the edge cases: a single sample returns that exact value
+    /// for every `q`, all-equal samples return the value, and the unbounded
+    /// outer buckets (`(-inf, 1)` and the overflow bucket) never leak an
+    /// infinite bound into the estimate. Returns NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * (self.count as f64 - 1.0) + 1.0;
+        let mut cum = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let c = self.buckets[i];
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                // Fraction of the way through this bucket's occupants,
+                // in (0, 1]; rank `cum + 1` (first occupant) maps to just
+                // above the bucket floor, rank `cum + c` to its ceiling.
+                let frac = (target - cum as f64) / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            cum += c;
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +184,87 @@ mod tests {
         assert_eq!(h.buckets[2], 1); // 3.0 in [2,4)
         assert_eq!(h.buckets[4], 1); // 10.0 in [8,16)
         assert!((h.mean() - 14.25 / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_nan() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(h.quantile(q).is_nan(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_exact_value() {
+        // The [min, max] clamp collapses the bucket to the sample itself,
+        // so every quantile of a one-sample histogram is exact — including
+        // samples that are NOT at a bucket boundary.
+        for v in [0.125, 1.0, 3.7, 1234.5] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_of_identical_samples_is_that_value() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(6.0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 6.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_pin_to_recorded_max() {
+        let mut h = Histogram::new();
+        for v in [1.5, 3.0, 100.0, 700.0] {
+            h.record(v);
+        }
+        // q=1 targets the last rank; the clamp makes it the exact max.
+        assert_eq!(h.quantile(1.0), 700.0);
+        // Out-of-range q is clamped, not panicking.
+        assert_eq!(h.quantile(7.0), 700.0);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly_within_a_bucket() {
+        // 4 samples at exact bucket boundaries 1, 2, 4, 8 — one per
+        // bucket. Continuous rank for q is q*(n-1)+1; rank r landing in a
+        // bucket whose sole occupant has cumulative position r interpolates
+        // to that bucket's (clamped) ceiling.
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        // q=0.5 → rank 2.5 → bucket [4,8) at fraction 0.5 → 4 + 0.5*(8-4).
+        assert_eq!(h.quantile(0.5), 6.0);
+        // q=1/3 → rank 2.0 → bucket [2,4) at fraction 1.0 → its ceiling 4.
+        assert_eq!(h.quantile(1.0 / 3.0), 4.0);
+        // q=0 → rank 1.0 → bucket [1,2) at fraction 1.0, ceiling 2.
+        assert_eq!(h.quantile(0.0), 2.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn quantile_outer_buckets_never_leak_infinities() {
+        // Bucket 0 spans (-inf, 1) and the overflow bucket [2^62, +inf];
+        // the [min, max] clamp keeps estimates finite and in-range.
+        let mut h = Histogram::new();
+        h.record(0.25);
+        h.record(0.5);
+        h.record((2f64).powi(70));
+        for q in [0.0, 0.3, 0.7, 1.0] {
+            let est = h.quantile(q);
+            assert!(est.is_finite(), "q={q} → {est}");
+            assert!((0.25..=(2f64).powi(70)).contains(&est), "q={q} → {est}");
+        }
+        assert_eq!(h.quantile(1.0), (2f64).powi(70));
     }
 
     #[test]

@@ -74,6 +74,24 @@ pub fn drain() -> ObsReport {
     }
 }
 
+/// Non-destructive snapshot of the metrics registry (counters, gauges,
+/// histograms, shapes) as an [`ObsReport`]. Unlike [`drain`], nothing is
+/// reset and no thread buffers are flushed, so span statistics and
+/// buffered events are *not* included — this is the live-export path for
+/// the serving layer's `/metrics` endpoint, which must scrape repeatedly
+/// without zeroing state between scrapes.
+pub fn snapshot() -> ObsReport {
+    let reg = metrics::clone_registry();
+    ObsReport {
+        spans: Vec::new(),
+        events: Vec::new(),
+        counters: reg.counters,
+        gauges: reg.gauges,
+        hists: reg.hists,
+        shapes: reg.shapes,
+    }
+}
+
 /// Drains and writes `OBS_<run>.jsonl` under `dir`, returning the report
 /// for further inspection (span-tree printing, assertions). Returns `None`
 /// without draining when obs is disabled on the calling thread, so library
@@ -127,6 +145,25 @@ mod tests {
         assert_eq!(rep.events.len(), 1);
         let jsonl = rep.to_jsonl("t");
         assert!(jsonl.contains(r#""path":"search/epoch""#));
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let _serial = test_lock();
+        let _ = drain();
+        with_obs(true, || {
+            counter_add("served", 3);
+            hist_record("lat_ns", 42.0);
+        });
+        let snap1 = snapshot();
+        assert_eq!(snap1.counter("served"), 3);
+        assert_eq!(snap1.hists.get("lat_ns").map(|h| h.count), Some(1));
+        // A second snapshot sees the same state; drain still gets it all.
+        let snap2 = snapshot();
+        assert_eq!(snap2.counter("served"), 3);
+        let rep = drain();
+        assert_eq!(rep.counter("served"), 3);
+        assert!(drain().counters.is_empty());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub struct ShapeKey {
 /// workloads. Existing keys keep counting.
 pub const MAX_SHAPE_KEYS: usize = 4096;
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct Registry {
     pub(crate) counters: BTreeMap<&'static str, u64>,
     pub(crate) gauges: BTreeMap<&'static str, f64>,
@@ -89,6 +89,14 @@ fn registry() -> MutexGuard<'static, Registry> {
 /// Empties the registry, returning its contents (drain-time helper).
 pub(crate) fn take_registry() -> Registry {
     std::mem::take(&mut *registry())
+}
+
+/// Clones the registry without emptying it (snapshot-time helper): the
+/// serving `/metrics` endpoint must be able to export at any moment
+/// without resetting counters for the next scrape or for the process-exit
+/// drain.
+pub(crate) fn clone_registry() -> Registry {
+    registry().clone()
 }
 
 /// Adds `n` to the counter `name`. Counters only go up between drains.

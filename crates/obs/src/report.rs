@@ -228,6 +228,15 @@ impl ObsReport {
             out.push_str(&format!("autoac_{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("autoac_{n}_sum {}\n", jnum(h.sum)));
             out.push_str(&format!("autoac_{n}_count {}\n", h.count));
+            // Estimated quantiles (linear interpolation within the
+            // power-of-two bucket) as companion gauges, so a scrape gets
+            // tail latency without re-deriving it from the buckets.
+            for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                out.push_str(&format!(
+                    "# TYPE autoac_{n}_{tag} gauge\nautoac_{n}_{tag} {}\n",
+                    jnum(h.quantile(q))
+                ));
+            }
         }
         for s in &self.spans {
             let n = prom_name(&s.path);
@@ -402,5 +411,18 @@ mod tests {
         assert!(prom.contains("autoac_lat_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("autoac_lat_count 2"));
         assert!(prom.contains("autoac_span_total_ns{path=\"search_epoch\"}"));
+    }
+
+    #[test]
+    fn prom_dump_emits_quantile_gauges() {
+        let rep = sample_report();
+        let prom = rep.prom_dump();
+        // lat holds {3.0, 1000.0}: p50 targets rank 1.5, landing halfway
+        // through the [512, 1024) bucket clamped to max=1000 → 756.
+        assert!(prom.contains("# TYPE autoac_lat_p50 gauge"), "{prom}");
+        assert!(prom.contains("autoac_lat_p50 756.0"), "{prom}");
+        assert!(prom.contains("# TYPE autoac_lat_p90 gauge"), "{prom}");
+        assert!(prom.contains("# TYPE autoac_lat_p99 gauge"), "{prom}");
+        assert!(prom.contains("autoac_lat_p99 995.1"), "{prom}");
     }
 }

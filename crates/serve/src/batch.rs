@@ -1,0 +1,180 @@
+//! The model thread: adaptive micro-batching over one inference model.
+//!
+//! Workers enqueue [`Job`]s over an mpsc channel; this thread coalesces
+//! concurrent classify requests into one batch and answers them all from
+//! a *single* full-graph forward. Because the forward reads only the
+//! materialized attribute block and reseeds its RNG per call (see
+//! `autoac_core::infer`), the logits a request receives are bitwise
+//! independent of which other requests shared its batch — batching is
+//! purely a throughput lever, never an accuracy or determinism trade.
+//!
+//! ## Flush policy
+//!
+//! A batch opens when the first classify job arrives and closes when
+//! either `batch_max` jobs are queued or an adaptive flush window
+//! expires. The window is `flush_us` scaled by the EWMA of recent batch
+//! sizes relative to `batch_max`: a lightly loaded server converges to a
+//! near-zero window (single requests don't idle waiting for company that
+//! never comes), while under concurrency the window grows toward
+//! `flush_us` and batches fill. Admin jobs (reload) end collection early
+//! and apply *between* batches, so in-flight requests are always answered
+//! by the checkpoint that was resident when their batch started.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+use autoac_ckpt::ServeState;
+use autoac_core::ServeStateInfo;
+use autoac_obs::{counter_add, hist_record};
+
+use crate::host::{ModelHost, ViewSlot};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// When false, every request runs its own forward (the A/B baseline).
+    pub batching: bool,
+    /// Maximum classify jobs coalesced into one forward.
+    pub batch_max: usize,
+    /// Upper bound on the flush window, in microseconds.
+    pub flush_us: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { batching: true, batch_max: 64, flush_us: 200 }
+    }
+}
+
+/// Scores for one requested node.
+#[derive(Debug, Clone)]
+pub struct NodeScore {
+    /// The node id as requested.
+    pub node: usize,
+    /// Argmax class.
+    pub label: usize,
+    /// Full logit row.
+    pub logits: Vec<f32>,
+}
+
+/// Answer to one classify job.
+#[derive(Debug, Clone)]
+pub struct ClassifyReply {
+    /// Config fingerprint (hex) of the checkpoint that produced the
+    /// scores — lets clients attribute every response across hot-reloads.
+    pub ckpt: String,
+    /// One entry per requested node, in request order.
+    pub rows: Vec<NodeScore>,
+}
+
+/// Work item for the model thread. Node ids are validated worker-side
+/// against the published view before enqueueing (reloads never change
+/// the graph, so the bound stays correct across swaps).
+pub enum Job {
+    /// Score `nodes`; answer on `reply`.
+    Classify {
+        /// Requested node ids, each `< num_nodes`.
+        nodes: Vec<usize>,
+        /// Where the (single) reply goes.
+        reply: Sender<ClassifyReply>,
+    },
+    /// Swap in a new checkpoint between batches.
+    Reload {
+        /// The replacement checkpoint.
+        state: Box<ServeState>,
+        /// `Ok` with the new identity, or why it was refused.
+        reply: Sender<Result<ServeStateInfo, String>>,
+    },
+}
+
+/// Body of the model thread. Builds the host in-thread (the pipeline is
+/// not `Send`), reports readiness through `ready`, then serves jobs until
+/// every [`Job`] sender is dropped — which is the graceful-shutdown
+/// signal: the channel only disconnects after all workers have finished
+/// their final requests, so nothing in flight is ever dropped.
+pub fn run_model_thread(
+    state: ServeState,
+    cfg: BatchConfig,
+    jobs: Receiver<Job>,
+    ready: Sender<Result<ViewSlot, String>>,
+) {
+    let mut host = match ModelHost::new(&state) {
+        Ok(h) => h,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    let _ = ready.send(Ok(host.slot()));
+
+    // Seed the EWMA at 1: an idle server starts with a near-zero window
+    // and only earns a longer one by actually observing batches.
+    let mut ewma = 1.0f64;
+    loop {
+        let first = match jobs.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = Vec::new();
+        let mut admin = Vec::new();
+        match first {
+            Job::Classify { nodes, reply } => batch.push((nodes, reply)),
+            Job::Reload { state, reply } => {
+                let _ = reply.send(host.reload(&state));
+                continue;
+            }
+        }
+        if cfg.batching {
+            let scale = (ewma / cfg.batch_max.max(1) as f64).min(1.0);
+            let deadline =
+                Instant::now() + Duration::from_micros((cfg.flush_us as f64 * scale).ceil() as u64);
+            while batch.len() < cfg.batch_max {
+                match jobs.try_recv() {
+                    Ok(Job::Classify { nodes, reply }) => batch.push((nodes, reply)),
+                    Ok(job) => {
+                        // Stop collecting: run what we have, then apply.
+                        admin.push(job);
+                        break;
+                    }
+                    Err(TryRecvError::Empty) => {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(20));
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        ewma = 0.8 * ewma + 0.2 * batch.len() as f64;
+
+        // One full-graph forward answers every request in the batch.
+        let t0 = Instant::now();
+        let logits = host.model().logits();
+        hist_record("serve_forward_ns", t0.elapsed().as_nanos() as f64);
+        hist_record("serve_batch_size", batch.len() as f64);
+        counter_add("serve_batches_total", 1);
+        counter_add("serve_batched_requests_total", batch.len() as u64);
+        let ckpt = &host.model().info().config_fp_hex;
+        for (nodes, reply) in batch {
+            let rows = nodes
+                .iter()
+                .map(|&n| NodeScore {
+                    node: n,
+                    label: logits.argmax_row(n),
+                    logits: logits.row(n).to_vec(),
+                })
+                .collect();
+            // A send failure only means the requesting worker gave up
+            // (client disconnect); nothing to do.
+            let _ = reply.send(ClassifyReply { ckpt: ckpt.clone(), rows });
+        }
+        for job in admin {
+            if let Job::Reload { state, reply } = job {
+                counter_add("serve_reloads_total", 1);
+                let _ = reply.send(host.reload(&state));
+            }
+        }
+    }
+}

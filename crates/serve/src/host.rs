@@ -1,0 +1,159 @@
+//! Model residency and hot-reload.
+//!
+//! The pipeline types ([`InferenceModel`] and everything under it) hold
+//! `Rc`-shared tensors and are deliberately not `Send`, so the loaded
+//! model lives on exactly one dedicated thread (see [`crate::batch`]).
+//! Worker threads never touch it directly; what they *can* read without a
+//! round-trip — the materialized attribute rows, node/class counts, and
+//! checkpoint identity — is published as an immutable [`SharedView`]
+//! behind an `Arc` swap, so `/v1/attrs` and `/healthz` are served
+//! entirely worker-side.
+//!
+//! Hot-reload builds the replacement [`InferenceModel`] first and only
+//! then swaps both the model and the view, so a failed reload leaves the
+//! old checkpoint serving and an accepted reload is atomic: every request
+//! is answered wholly by one checkpoint or the other, never a blend.
+
+use std::sync::{Arc, Mutex};
+
+use autoac_ckpt::ServeState;
+use autoac_core::{InferenceModel, ServeStateInfo};
+
+/// Immutable worker-visible snapshot of the loaded model: everything the
+/// read-only endpoints need, in `Send + Sync` form.
+pub struct SharedView {
+    /// Materialized completed attributes, row-major `(num_nodes, attr_dim)`.
+    pub attrs: Vec<f32>,
+    /// Attribute dimensionality (`in_dim`).
+    pub attr_dim: usize,
+    /// Total node count; valid ids are `0..num_nodes`.
+    pub num_nodes: usize,
+    /// Logit columns.
+    pub num_classes: usize,
+    /// Checkpoint identity (config fingerprint hex, backbone, F1s, ...).
+    pub info: ServeStateInfo,
+}
+
+impl SharedView {
+    fn from_model(model: &InferenceModel) -> Self {
+        let attrs = model.attrs();
+        Self {
+            attrs: (0..attrs.rows()).flat_map(|r| attrs.row(r).iter().copied()).collect(),
+            attr_dim: attrs.cols(),
+            num_nodes: model.num_nodes(),
+            num_classes: model.num_classes(),
+            info: model.info().clone(),
+        }
+    }
+
+    /// One attribute row, or `None` when `node` is out of range.
+    pub fn attr_row(&self, node: usize) -> Option<&[f32]> {
+        if node >= self.num_nodes {
+            return None;
+        }
+        Some(&self.attrs[node * self.attr_dim..(node + 1) * self.attr_dim])
+    }
+}
+
+/// The slot workers read the current [`SharedView`] from. Cloning the
+/// inner `Arc` out is the whole critical section, so the lock is never
+/// held across any real work.
+pub type ViewSlot = Arc<Mutex<Arc<SharedView>>>;
+
+/// Reads the current view out of the slot.
+pub fn current_view(slot: &ViewSlot) -> Arc<SharedView> {
+    // A poisoned slot only means some thread panicked *after* a completed
+    // swap (the stored Arc is always whole), so serving from it is sound.
+    Arc::clone(&slot.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// The loaded model plus the published view, owned by the model thread.
+pub struct ModelHost {
+    model: InferenceModel,
+    slot: ViewSlot,
+}
+
+impl ModelHost {
+    /// Loads the initial checkpoint and publishes its view into a fresh
+    /// slot.
+    pub fn new(state: &ServeState) -> Result<Self, String> {
+        let model = InferenceModel::from_state(state).map_err(|e| e.to_string())?;
+        let slot = Arc::new(Mutex::new(Arc::new(SharedView::from_model(&model))));
+        Ok(Self { model, slot })
+    }
+
+    /// The slot workers should read views from.
+    pub fn slot(&self) -> ViewSlot {
+        Arc::clone(&self.slot)
+    }
+
+    /// The resident model (model-thread only).
+    pub fn model(&self) -> &InferenceModel {
+        &self.model
+    }
+
+    /// Replaces the resident model with `state`, keeping the old one on
+    /// any failure. The new checkpoint must describe the *same graph*
+    /// (identical structural fingerprint) so node ids keep their meaning
+    /// across the swap; callers surface a violation as HTTP 409.
+    pub fn reload(&mut self, state: &ServeState) -> Result<ServeStateInfo, String> {
+        let next = InferenceModel::from_state(state).map_err(|e| e.to_string())?;
+        if next.info().graph_fp != self.model.info().graph_fp {
+            return Err(format!(
+                "graph fingerprint mismatch: serving {:016x}, checkpoint {:016x} — \
+                 node ids would silently change meaning",
+                self.model.info().graph_fp,
+                next.info().graph_fp
+            ));
+        }
+        let view = Arc::new(SharedView::from_model(&next));
+        let info = next.info().clone();
+        self.model = next;
+        *self.slot.lock().unwrap_or_else(|p| p.into_inner()) = view;
+        Ok(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoac_core::{train_serve_state, ServeTrainSpec, TrainConfig};
+
+    fn quick_state(seed: u64, data_seed: u64) -> ServeState {
+        let spec = ServeTrainSpec {
+            data_seed,
+            train: TrainConfig { epochs: 2, patience: 2, ..Default::default() },
+            seed,
+            ..Default::default()
+        };
+        train_serve_state(&spec).expect("train").0
+    }
+
+    #[test]
+    fn view_exposes_attr_rows_and_bounds() {
+        let host = ModelHost::new(&quick_state(3, 1)).expect("load");
+        let view = current_view(&host.slot());
+        assert_eq!(view.num_nodes * view.attr_dim, view.attrs.len());
+        assert!(view.attr_row(0).is_some());
+        assert!(view.attr_row(view.num_nodes).is_none());
+        assert_eq!(view.attr_row(1).map(<[f32]>::len), Some(view.attr_dim));
+    }
+
+    #[test]
+    fn reload_swaps_view_atomically_and_rejects_foreign_graphs() {
+        let mut host = ModelHost::new(&quick_state(3, 1)).expect("load");
+        let slot = host.slot();
+        let before = current_view(&slot).info.config_fp_hex.clone();
+
+        // Same graph, different seed: accepted, view swapped.
+        let info = host.reload(&quick_state(4, 1)).expect("reload");
+        assert_ne!(info.config_fp_hex, before);
+        assert_eq!(current_view(&slot).info.config_fp_hex, info.config_fp_hex);
+
+        // Different data seed regenerates a different graph: rejected,
+        // old view still published.
+        let err = host.reload(&quick_state(5, 2)).expect_err("must reject");
+        assert!(err.contains("graph fingerprint mismatch"), "{err}");
+        assert_eq!(current_view(&slot).info.config_fp_hex, info.config_fp_hex);
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-rolled HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! Implements exactly the slice of the protocol the serving layer needs:
+//! request-line + headers + `Content-Length` bodies, keep-alive with
+//! pipelining (bytes past the current request stay buffered for the
+//! next), and bounded header/body sizes so a hostile peer cannot make a
+//! worker allocate without limit. Chunked transfer encoding, trailers,
+//! and continuation lines are deliberately out of scope — requests using
+//! them are rejected, not misparsed.
+//!
+//! Reads use the caller's socket read-timeout as a poll tick: a timeout
+//! with *no* buffered request bytes surfaces as [`ReadOutcome::Idle`] so
+//! the worker can check the shutdown flag between requests, while a
+//! timeout mid-request keeps waiting up to [`REQUEST_DEADLINE`].
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Maximum accepted size of the request line + headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// How long a started request may take to arrive in full before the
+/// connection is dropped (slow-loris bound).
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `POST`.
+    pub method: String,
+    /// Request target as sent, e.g. `/v1/classify`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// What [`read_request`] produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF at a request boundary.
+    Closed,
+    /// Read-timeout tick with no request in flight (poll the shutdown
+    /// flag and call again).
+    Idle,
+    /// Malformed or over-limit request: respond with this status and
+    /// close.
+    Bad(u16, &'static str),
+}
+
+/// Reads one request from `stream`, buffering into `buf` across calls
+/// (left-over bytes belong to the next pipelined request).
+pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<ReadOutcome> {
+    let started = Instant::now();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(outcome) = try_parse(buf)? {
+            return Ok(outcome);
+        }
+        if buf.len() > MAX_HEADER_BYTES && find_header_end(buf).is_none() {
+            return Ok(ReadOutcome::Bad(431, "header block too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(ReadOutcome::Closed)
+                } else {
+                    Ok(ReadOutcome::Bad(400, "connection closed mid-request"))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if buf.is_empty() {
+                    return Ok(ReadOutcome::Idle);
+                }
+                if started.elapsed() > REQUEST_DEADLINE {
+                    return Ok(ReadOutcome::Bad(408, "request did not arrive in time"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Attempts to parse one complete request out of `buf`; `Ok(None)` means
+/// more bytes are needed.
+fn try_parse(buf: &mut Vec<u8>) -> io::Result<Option<ReadOutcome>> {
+    let Some(header_end) = find_header_end(buf) else {
+        return Ok(None);
+    };
+    if header_end > MAX_HEADER_BYTES {
+        return Ok(Some(ReadOutcome::Bad(431, "header block too large")));
+    }
+    let header = match std::str::from_utf8(&buf[..header_end]) {
+        Ok(h) => h,
+        Err(_) => return Ok(Some(ReadOutcome::Bad(400, "non-utf8 header block"))),
+    };
+    let mut lines = header.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Some(ReadOutcome::Bad(400, "malformed request line")));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Ok(Some(ReadOutcome::Bad(400, "malformed request line")));
+    }
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(Some(ReadOutcome::Bad(400, "malformed header line")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return Ok(Some(ReadOutcome::Bad(400, "bad content-length"))),
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Ok(Some(ReadOutcome::Bad(501, "transfer-encoding not supported")));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Some(ReadOutcome::Bad(413, "body too large")));
+    }
+    let total = header_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: buf[header_end + 4..total].to_vec(),
+        keep_alive,
+    };
+    buf.drain(..total);
+    Ok(Some(ReadOutcome::Request(request)))
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a full response with `Content-Length` framing.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut msg = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    // One write for the whole response: a head-only first segment would
+    // sit in Nagle's buffer waiting for the peer's delayed ACK.
+    msg.extend_from_slice(body);
+    stream.write_all(&msg)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> Vec<ReadOutcome> {
+        // Feed raw bytes through a real socket pair.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+        client.write_all(raw).expect("write");
+        drop(client); // EOF after the payload
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("timeout");
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            match read_request(&mut server, &mut buf).expect("read") {
+                ReadOutcome::Closed => break,
+                o @ ReadOutcome::Bad(..) => {
+                    out.push(o);
+                    break;
+                }
+                o => out.push(o),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive_default() {
+        let raw = b"POST /v1/classify HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let out = roundtrip(raw);
+        let [ReadOutcome::Request(r)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("POST", "/v1/classify"));
+        assert_eq!(r.body, b"hello");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let out = roundtrip(raw);
+        let [ReadOutcome::Request(a), ReadOutcome::Request(b)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(a.path, "/healthz");
+        assert_eq!(b.path, "/metrics");
+        assert!(!b.keep_alive);
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_framing() {
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(roundtrip(huge.as_bytes())[..], [ReadOutcome::Bad(413, _)]));
+        assert!(matches!(
+            roundtrip(b"BROKEN\r\n\r\n")[..],
+            [ReadOutcome::Bad(400, _)]
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")[..],
+            [ReadOutcome::Bad(400, _)]
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")[..],
+            [ReadOutcome::Bad(501, _)]
+        ));
+        // Close mid-body.
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")[..],
+            [ReadOutcome::Bad(400, _)]
+        ));
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n", "a".repeat(MAX_HEADER_BYTES)).as_bytes());
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(roundtrip(&raw)[..], [ReadOutcome::Bad(431, _)]));
+    }
+}

@@ -1,0 +1,52 @@
+//! # autoac-serve
+//!
+//! Online attribute-completion and inference serving for trained AutoAC
+//! models: a zero-dependency HTTP/1.1 server over `std::net` with a
+//! fixed worker pool, an adaptive micro-batching model thread, and
+//! atomic checkpoint hot-reload.
+//!
+//! ## Endpoints
+//!
+//! | route              | method | purpose                                        |
+//! |--------------------|--------|------------------------------------------------|
+//! | `/v1/classify`     | POST   | node ids → logits + argmax labels (batched)    |
+//! | `/v1/attrs`        | POST   | node ids → completed attribute rows            |
+//! | `/healthz`         | GET    | liveness + loaded-checkpoint identity          |
+//! | `/metrics`         | GET    | Prometheus exposition text (obs registry)      |
+//! | `/admin/reload`    | POST   | hot-swap to a new checkpoint (same graph only) |
+//! | `/admin/shutdown`  | POST   | graceful shutdown                              |
+//!
+//! ## Determinism contract
+//!
+//! Every classify response is **bitwise-identical** whether the request
+//! was answered alone or coalesced into a batch, and across restarts on
+//! the same checkpoint: the model forward reads a materialized constant
+//! attribute block and reseeds its RNG from the checkpoint's
+//! `infer_seed` on every call, so logits are a pure function of
+//! (checkpoint, node id). `serve_bench` and the integration tests diff
+//! response digests batched-vs-unbatched to hold the line.
+//!
+//! ```no_run
+//! use autoac_core::{train_serve_state, ServeTrainSpec};
+//! use autoac_serve::{Client, ServeConfig, Server};
+//!
+//! let (state, _) = train_serve_state(&ServeTrainSpec::default()).unwrap();
+//! let server = Server::start(state, &ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.post("/v1/classify", r#"{"nodes":[0,1,2]}"#).unwrap();
+//! println!("{}", reply.text());
+//! server.stop();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod host;
+pub mod http;
+pub mod server;
+
+pub use batch::{BatchConfig, ClassifyReply, Job, NodeScore};
+pub use client::{Client, Response};
+pub use host::{current_view, ModelHost, SharedView, ViewSlot};
+pub use server::{signals, ServeConfig, Server, ServerHandle, MAX_NODES_PER_REQUEST};

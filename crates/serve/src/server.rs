@@ -1,0 +1,472 @@
+//! The server proper: acceptor, worker pool, routing, and lifecycle.
+//!
+//! ## Thread layout
+//!
+//! ```text
+//!  acceptor ──streams──▶ workers (N) ──Job──▶ model thread (1)
+//!     │                     │  ▲                  │
+//!     │ nonblocking poll    │  └── per-job reply ─┘
+//!     ▼                     ▼
+//!  shutdown flag      SharedView slot (Arc swap, read-only endpoints)
+//! ```
+//!
+//! ## Graceful shutdown
+//!
+//! `POST /admin/shutdown`, a SIGINT/SIGTERM (when [`signals::install`]ed),
+//! or [`ServerHandle::request_shutdown`] sets one atomic flag. The
+//! acceptor stops accepting and exits, which disconnects the stream
+//! channel; each worker finishes the request it is on (including waiting
+//! for its batch reply), notices the flag at the next request boundary,
+//! and exits; only after every worker has dropped its job sender does the
+//! job channel disconnect and the model thread return. The ordering
+//! guarantees zero dropped in-flight requests.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use autoac_ckpt::ServeState;
+use autoac_data::json::{self, Value};
+use autoac_obs::{counter_add, hist_record, warn};
+
+use crate::batch::{BatchConfig, Job};
+use crate::host::{current_view, SharedView, ViewSlot};
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+
+/// Upper bound on node ids per classify/attrs request.
+pub const MAX_NODES_PER_REQUEST: usize = 4096;
+
+/// Server settings.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker (connection-handling) threads.
+    pub workers: usize,
+    /// Micro-batching knobs for the model thread.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".into(), workers: 4, batch: BatchConfig::default() }
+    }
+}
+
+/// Process-global signal → shutdown-flag bridge, opt-in via
+/// [`signals::install`] (the `autoac_serve` binary installs it; library
+/// users like tests and the benchmark typically don't).
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT and SIGTERM into the serving shutdown flag.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: installing a handler that only stores an atomic.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    /// No-op off unix.
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    /// True once a routed signal has fired.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything a worker needs to serve requests.
+#[derive(Clone)]
+struct Ctx {
+    slot: ViewSlot,
+    jobs: Sender<Job>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Ctx {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signals::requested()
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::stop`])
+/// shuts it down gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    model: Option<JoinHandle<()>>,
+    /// Held only until `join`: dropping the last job sender is what lets
+    /// the model thread exit.
+    jobs: Option<Sender<Job>>,
+}
+
+/// Alias kept close to the docs' vocabulary.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Binds, loads the checkpoint on the model thread, and returns once
+    /// the server is ready to answer requests (or the checkpoint failed
+    /// to load).
+    pub fn start(state: ServeState, cfg: &ServeConfig) -> io::Result<Server> {
+        // `/metrics` is part of the serving contract, so the obs registry
+        // must record regardless of AUTOAC_OBS in the environment.
+        autoac_obs::set_force(Some(true));
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let batch = cfg.batch;
+        let model = std::thread::Builder::new()
+            .name("serve-model".into())
+            .spawn(move || crate::batch::run_model_thread(state, batch, jobs_rx, ready_tx))?;
+        let slot = match ready_rx.recv() {
+            Ok(Ok(slot)) => slot,
+            Ok(Err(e)) => {
+                let _ = model.join();
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+            Err(_) => {
+                let _ = model.join();
+                return Err(io::Error::new(io::ErrorKind::Other, "model thread died during load"));
+            }
+        };
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let ctx = Ctx { slot, jobs: jobs_tx.clone(), shutdown: Arc::clone(&shutdown) };
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let ctx = ctx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, ctx))?,
+            );
+        }
+
+        let flag = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new().name("serve-accept".into()).spawn(move || {
+            accept_loop(listener, conn_tx, flag);
+        })?;
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            model: Some(model),
+            jobs: Some(jobs_tx),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown without waiting.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to finish — it only does once shutdown is
+    /// requested via flag, signal, or `POST /admin/shutdown`.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    /// Requests shutdown and waits for completion.
+    pub fn stop(self) {
+        self.request_shutdown();
+        self.join();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Last sender gone → model thread's channel disconnects → exits.
+        self.jobs = None;
+        if let Some(h) = self.model.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        self.join_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shutdown: Arc<AtomicBool>) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) || signals::requested() {
+            return; // drops conn_tx; workers drain the queue then exit
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Responses are small and latency-bound; never Nagle them.
+                let _ = stream.set_nodelay(true);
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                warn("serve", &format!("accept failed: {e}"));
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, ctx: Ctx) {
+    loop {
+        // Holding the lock across `recv` is the classic shared-queue
+        // pattern: exactly one idle worker waits, the rest park on the
+        // mutex; disconnect (acceptor gone) wakes them all in turn.
+        let stream = {
+            let rx = conn_rx.lock().unwrap_or_else(|p| p.into_inner());
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, &ctx),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    if let Err(e) = stream.set_read_timeout(Some(Duration::from_millis(100))) {
+        warn("serve", &format!("set_read_timeout failed: {e}"));
+        return;
+    }
+    let mut buf = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buf) {
+            Ok(ReadOutcome::Request(req)) => {
+                let keep = req.keep_alive;
+                if let Err(e) = route(&mut stream, &req, ctx) {
+                    warn("serve", &format!("response write failed: {e}"));
+                    return;
+                }
+                if !keep {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Idle) => {
+                if ctx.stopping() {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Bad(status, msg)) => {
+                counter_add("serve_errors_total", 1);
+                let _ = respond_error(&mut stream, status, msg, false);
+                return;
+            }
+            Err(e) => {
+                warn("serve", &format!("read failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+fn route(stream: &mut TcpStream, req: &Request, ctx: &Ctx) -> io::Result<()> {
+    counter_add("serve_requests_total", 1);
+    let keep = req.keep_alive;
+    let t0 = Instant::now();
+    let outcome = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/classify") => classify(req, ctx),
+        ("POST", "/v1/attrs") => attrs(req, ctx),
+        ("GET", "/healthz") => Ok(healthz(ctx)),
+        ("GET", "/metrics") => {
+            let text = autoac_obs::snapshot().prom_dump();
+            hist_record("serve_metrics_ns", t0.elapsed().as_nanos() as f64);
+            return write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes(), keep);
+        }
+        ("POST", "/admin/reload") => reload(req, ctx),
+        ("POST", "/admin/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Ok(Value::Obj(vec![("ok".into(), Value::Bool(true))]))
+        }
+        (_, "/v1/classify" | "/v1/attrs" | "/admin/reload" | "/admin/shutdown") => {
+            Err((405, "use POST".to_string()))
+        }
+        (_, "/healthz" | "/metrics") => Err((405, "use GET".to_string())),
+        _ => Err((404, format!("no route for {}", req.path))),
+    };
+    match outcome {
+        Ok(doc) => {
+            let body = json::to_string(&doc);
+            let hist = match req.path.as_str() {
+                "/v1/classify" => "serve_classify_ns",
+                "/v1/attrs" => "serve_attrs_ns",
+                _ => "serve_other_ns",
+            };
+            hist_record(hist, t0.elapsed().as_nanos() as f64);
+            write_response(stream, 200, "application/json", body.as_bytes(), keep)
+        }
+        Err((status, msg)) => {
+            counter_add("serve_errors_total", 1);
+            respond_error(stream, status, &msg, keep)
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, msg: &str, keep: bool) -> io::Result<()> {
+    let body = json::to_string(&Value::Obj(vec![("error".into(), Value::Str(msg.into()))]));
+    write_response(stream, status, "application/json", body.as_bytes(), keep)
+}
+
+type Handled = Result<Value, (u16, String)>;
+
+/// Parses and bounds-checks the `{"nodes": [...]}` request body.
+fn parse_nodes(body: &[u8], view: &SharedView) -> Result<Vec<usize>, (u16, String)> {
+    let text = std::str::from_utf8(body).map_err(|_| (400, "body is not utf-8".to_string()))?;
+    let doc = json::parse(text).map_err(|e| (400, format!("bad json: {e}")))?;
+    let nodes = doc
+        .get("nodes")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| (400, "body must be an object with a \"nodes\" array".to_string()))?;
+    if nodes.is_empty() {
+        return Err((400, "\"nodes\" must not be empty".to_string()));
+    }
+    if nodes.len() > MAX_NODES_PER_REQUEST {
+        return Err((400, format!("at most {MAX_NODES_PER_REQUEST} nodes per request")));
+    }
+    nodes
+        .iter()
+        .map(|v| match v.as_usize() {
+            Some(n) if n < view.num_nodes => Ok(n),
+            Some(n) => Err((400, format!("node {n} out of range (graph has {})", view.num_nodes))),
+            None => Err((400, "node ids must be non-negative integers".to_string())),
+        })
+        .collect()
+}
+
+fn classify(req: &Request, ctx: &Ctx) -> Handled {
+    let view = current_view(&ctx.slot);
+    let nodes = parse_nodes(&req.body, &view)?;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    ctx.jobs
+        .send(Job::Classify { nodes, reply: reply_tx })
+        .map_err(|_| (503, "model thread unavailable".to_string()))?;
+    let reply = reply_rx.recv().map_err(|_| (503, "model thread unavailable".to_string()))?;
+    let results = reply
+        .rows
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("node".into(), Value::Num(r.node as f64)),
+                ("label".into(), Value::Num(r.label as f64)),
+                ("logits".into(), Value::Arr(r.logits.iter().map(|&v| Value::Num(v as f64)).collect())),
+            ])
+        })
+        .collect();
+    Ok(Value::Obj(vec![
+        ("ckpt".into(), Value::Str(reply.ckpt)),
+        ("results".into(), Value::Arr(results)),
+    ]))
+}
+
+fn attrs(req: &Request, ctx: &Ctx) -> Handled {
+    let view = current_view(&ctx.slot);
+    let nodes = parse_nodes(&req.body, &view)?;
+    let results = nodes
+        .iter()
+        .map(|&n| {
+            // Bounds were checked against this same view.
+            let row = view.attr_row(n).unwrap_or(&[]);
+            Value::Obj(vec![
+                ("node".into(), Value::Num(n as f64)),
+                ("attrs".into(), Value::Arr(row.iter().map(|&v| Value::Num(v as f64)).collect())),
+            ])
+        })
+        .collect();
+    Ok(Value::Obj(vec![
+        ("ckpt".into(), Value::Str(view.info.config_fp_hex.clone())),
+        ("dim".into(), Value::Num(view.attr_dim as f64)),
+        ("results".into(), Value::Arr(results)),
+    ]))
+}
+
+fn healthz(ctx: &Ctx) -> Value {
+    let view = current_view(&ctx.slot);
+    Value::Obj(vec![
+        ("status".into(), Value::Str("ok".into())),
+        ("ckpt".into(), Value::Str(view.info.config_fp_hex.clone())),
+        ("backbone".into(), Value::Str(view.info.backbone.clone())),
+        ("preset".into(), Value::Str(view.info.preset.clone())),
+        ("nodes".into(), Value::Num(view.num_nodes as f64)),
+        ("classes".into(), Value::Num(view.num_classes as f64)),
+        ("attr_dim".into(), Value::Num(view.attr_dim as f64)),
+        ("epochs".into(), Value::Num(view.info.epochs_done as f64)),
+        ("macro_f1".into(), Value::Num(view.info.macro_f1)),
+        ("micro_f1".into(), Value::Num(view.info.micro_f1)),
+    ])
+}
+
+fn reload(req: &Request, ctx: &Ctx) -> Handled {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| (400, "body is not utf-8".to_string()))?;
+    let doc = json::parse(text).map_err(|e| (400, format!("bad json: {e}")))?;
+    let path = doc
+        .get("checkpoint")
+        .and_then(Value::as_str)
+        .ok_or_else(|| (400, "body must carry a \"checkpoint\" path".to_string()))?;
+    let state = ServeState::read(std::path::Path::new(path))
+        .map_err(|e| (400, format!("cannot load checkpoint: {e}")))?;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    ctx.jobs
+        .send(Job::Reload { state: Box::new(state), reply: reply_tx })
+        .map_err(|_| (503, "model thread unavailable".to_string()))?;
+    match reply_rx.recv() {
+        Ok(Ok(info)) => Ok(Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("ckpt".into(), Value::Str(info.config_fp_hex)),
+        ])),
+        Ok(Err(msg)) => Err((409, msg)),
+        Err(_) => Err((503, "model thread unavailable".to_string())),
+    }
+}

@@ -26,7 +26,14 @@
 #    AUTOAC_KERNEL=scalar, =blocked, and =auto must produce byte-identical
 #    result digests (the microkernels' bitwise-equality contract, end to
 #    end), plus a bench_kernels smoke run that A/B-times every kernel pair
-#    and asserts bitwise parity on each measured shape.
+#    and asserts bitwise parity on each measured shape;
+#  - the serving pass: an autoac_serve daemon is launched on an ephemeral
+#    port from a freshly trained checkpoint and driven with concurrent
+#    closed-loop clients (serve_bench --connect) twice — batching on and
+#    off — whose response digests must be identical (micro-batching is
+#    bitwise-invisible); /metrics must parse as Prometheus exposition
+#    text, and POST /admin/shutdown must take the daemon down gracefully.
+#    An in-process serve_bench smoke repeats the A/B inside one process.
 #
 # The test suites run under AUTOAC_SLOW_TESTS=1: the default (fast) test
 # profile shrinks end-to-end budgets for interactive iteration; verify is
@@ -38,8 +45,11 @@ cd "$(dirname "$0")/.."
 
 MAX_THREADS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release --workspace =="
+# --workspace: the root manifest is a package, so a bare build would cover
+# only it — the smoke binaries (ckpt_smoke, bench_*, autoac_serve, ...)
+# live in member crates and must be built explicitly.
+cargo build --release --workspace
 
 echo "== cargo test -q (AUTOAC_POOL=0, AUTOAC_NUM_THREADS=1: no recycling, serial kernels) =="
 AUTOAC_SLOW_TESTS=1 AUTOAC_POOL=0 AUTOAC_NUM_THREADS=1 cargo test -q
@@ -54,7 +64,7 @@ cargo run -q --release -p autoac-check --bin autoac-lint \
 # suite slows several-fold with them on.
 AUTOAC_CHECK=1 cargo test -q --release \
   -p autoac-tensor -p autoac-check -p autoac-core -p autoac-nn \
-  -p autoac-completion -p autoac \
+  -p autoac-completion -p autoac -p autoac-serve \
   || { echo "verify.sh: FAIL — suite failed with AUTOAC_CHECK=1 armed"; exit 1; }
 SMOKE_JSON="$(cargo run -q --release -p autoac-check --bin check_smoke)" \
   || { echo "verify.sh: FAIL — check_smoke: an analysis missed its seeded bug"; exit 1; }
@@ -123,4 +133,40 @@ echo "   AUTOAC_KERNEL=scalar/blocked/auto digests are byte-identical"
 ./target/release/bench_kernels --smoke 1 --out "$WORK/bench_kernels_smoke.json" \
   || { echo "verify.sh: FAIL — bench_kernels smoke (parity or bench) failed"; exit 1; }
 
-echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, obs smoke, and kernel dispatch OK"
+echo "== serving pass (autoac_serve + serve_bench: batching A/B, metrics, graceful shutdown) =="
+SERVE="./target/release/autoac_serve"
+SERVE_BENCH="./target/release/serve_bench"
+# One small checkpoint shared by both daemon launches.
+"$SERVE" --train-out "$WORK/serve.ckpt" --epochs 6 --seed 7
+
+serve_drive() { # $1: batching flag ("" or --no-batching), $2: digest file
+  rm -f "$WORK/serve.port"
+  # shellcheck disable=SC2086
+  "$SERVE" --checkpoint "$WORK/serve.ckpt" --addr 127.0.0.1:0 --workers 4 \
+    --port-file "$WORK/serve.port" $1 &
+  local daemon=$!
+  for _ in $(seq 1 100); do [ -s "$WORK/serve.port" ] && break; sleep 0.1; done
+  [ -s "$WORK/serve.port" ] \
+    || { echo "verify.sh: FAIL — autoac_serve never became ready"; kill "$daemon" 2>/dev/null; exit 1; }
+  # Drives concurrent clients, validates /healthz and /metrics exposition
+  # text, prints the response digest, and issues POST /admin/shutdown.
+  "$SERVE_BENCH" --connect "$(cat "$WORK/serve.port")" --clients 4 --requests 40 \
+    --shutdown | tee "$2.log" \
+    || { echo "verify.sh: FAIL — serve_bench driver failed"; kill "$daemon" 2>/dev/null; exit 1; }
+  grep '^digest: ' "$2.log" > "$2"
+  # The daemon must exit on its own after /admin/shutdown (graceful path).
+  wait "$daemon" \
+    || { echo "verify.sh: FAIL — autoac_serve exited non-zero after shutdown"; exit 1; }
+}
+
+serve_drive "" "$WORK/serve_digest_batched"
+serve_drive "--no-batching" "$WORK/serve_digest_single"
+diff "$WORK/serve_digest_batched" "$WORK/serve_digest_single" \
+  || { echo "verify.sh: FAIL — batched responses diverged from single-request responses"; exit 1; }
+echo "   batched and unbatched serving digests are byte-identical; graceful shutdown OK"
+# In-process A/B smoke: same assertion plus throughput/latency accounting
+# (the committed results/BENCH_serve.json comes from a full run).
+"$SERVE_BENCH" --smoke --out "$WORK/bench_serve_smoke.json" \
+  || { echo "verify.sh: FAIL — serve_bench in-process A/B failed"; exit 1; }
+
+echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, obs smoke, kernel dispatch, and serving OK"
