@@ -1,0 +1,385 @@
+//! Sharding / minibatch scaling benchmark (`results/BENCH_shard.json`).
+//!
+//! Three phases, all timed from the obs span tree (`train/epoch`) rather
+//! than private timers:
+//!
+//! 1. **1M-node A/B** — generates a million-node power-law heterogeneous
+//!    graph with the streaming scale generator and times training epochs
+//!    under three schedules: legacy full-batch, neighbor-sampled
+//!    minibatch, and type-aware shards. The sampled schedule must be
+//!    ≥ 5× faster per epoch than full-batch (asserted).
+//! 2. **Paper-scale drift** — trains sampled vs full-batch to the same
+//!    epoch budget on the paper-scale DBLP preset (the synthetic graphs
+//!    carry planted learnable structure, unlike the timing-only scale
+//!    generator) and reports the F1 drift introduced by sampling.
+//! 3. **10M-node generation profile** — generation-only run
+//!    (`feature_dim = 0`) of a ten-million-node graph, reporting wall
+//!    time, throughput, and the degree profile (power-law exponent
+//!    estimate included, validated).
+//!
+//! `--smoke` replaces all of this with a tiny-graph pass: it asserts the
+//! full-batch minibatch config is *bitwise identical* to the legacy
+//! pipeline, then exercises the sampled and shard schedules end to end.
+//! Pass `--out PATH` to redirect the JSON artifact — the verify harness
+//! points smoke runs at a scratch directory so the committed paper-scale
+//! artifact is never clobbered (the same rule `bench_alloc` follows).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use autoac_core::{
+    train_node_classification, train_node_classification_minibatch, Backbone, ClsOutcome,
+    CompletionMode, MinibatchConfig, MinibatchPipeline, Pipeline, TrainConfig,
+};
+use autoac_data::{
+    degree_profile, generate_scale, presets, synth, Dataset, DegreeProfile, Scale, ScaleSpec,
+};
+use autoac_graph::ShardStrategy;
+use autoac_nn::GnnConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0;
+
+struct BenchArgs {
+    out: PathBuf,
+    smoke: bool,
+    /// Node count for the A/B epoch-time comparison (phase 1).
+    ab_nodes: usize,
+    /// Measured epochs per A/B arm.
+    ab_epochs: usize,
+    /// Epoch budget for both drift arms (phase 2, paper-scale DBLP).
+    drift_epochs: usize,
+    /// Node count for the generation-only profile (phase 3).
+    gen_nodes: usize,
+}
+
+impl BenchArgs {
+    fn parse() -> Self {
+        let mut a = BenchArgs {
+            out: PathBuf::from("results/BENCH_shard.json"),
+            smoke: false,
+            ab_nodes: 1_000_000,
+            ab_epochs: 3,
+            drift_epochs: 40,
+            gen_nodes: 10_000_000,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            if flag == "--smoke" {
+                a.smoke = true;
+                i += 1;
+                continue;
+            }
+            let value = argv.get(i + 1).map(String::as_str).unwrap_or_else(|| usage(flag));
+            match flag {
+                "--out" => a.out = PathBuf::from(value),
+                "--ab-nodes" => a.ab_nodes = parse_num(flag, value),
+                "--ab-epochs" => a.ab_epochs = parse_num(flag, value).max(1),
+                "--drift-epochs" => a.drift_epochs = parse_num(flag, value).max(1),
+                "--gen-nodes" => a.gen_nodes = parse_num(flag, value),
+                _ => usage(flag),
+            }
+            i += 2;
+        }
+        a
+    }
+}
+
+fn parse_num(flag: &str, value: &str) -> usize {
+    value.parse().unwrap_or_else(|_| usage(flag))
+}
+
+fn usage(flag: &str) -> ! {
+    // lint:allow(eprintln) — CLI-facing usage error, not library telemetry
+    eprintln!(
+        "unexpected argument {flag}\nusage: bench_shard [--smoke] [--out PATH] \
+         [--ab-nodes N] [--ab-epochs N] [--drift-epochs N] [--gen-nodes N]"
+    );
+    std::process::exit(2)
+}
+
+/// Modest GCN dimensions so the 1M-node full-batch baseline stays tractable
+/// on one core while remaining a fair A/B (all arms share this config).
+fn gnn_cfg(data: &Dataset) -> GnnConfig {
+    GnnConfig {
+        in_dim: 32,
+        hidden: 32,
+        out_dim: data.num_classes.max(2),
+        layers: 2,
+        heads: 1,
+        dropout: 0.1,
+        slope: 0.05,
+        edge_dim: 8,
+        beta: 0.05,
+    }
+}
+
+/// One seeded training run under the given schedule: fresh pipeline, fixed
+/// epoch budget (patience = epochs, so no arm early-stops out of its
+/// budget). Returns the outcome, mean epoch milliseconds from the obs
+/// `train/epoch` span, and the call's wall seconds (which, unlike the
+/// span, includes schedule build: partitioning, sampler index, caches).
+fn run_arm(
+    data: &Dataset,
+    cfg: &GnnConfig,
+    mb: &MinibatchConfig,
+    epochs: usize,
+    seed: u64,
+) -> (ClsOutcome, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pipe = MinibatchPipeline::new(data, cfg, CompletionMode::Zero, &mut rng);
+    let tc = TrainConfig { epochs, patience: epochs, ..TrainConfig::default() };
+    let t = Instant::now();
+    let out = train_node_classification_minibatch(&pipe, data, &tc, mb, seed, None);
+    let wall = t.elapsed().as_secs_f64();
+    let rep = autoac_obs::drain();
+    let ems = epoch_ms(&rep, &out);
+    (out, ems, wall)
+}
+
+/// Mean per-epoch milliseconds from the obs `train/epoch` span, falling
+/// back to the trainer's own wall-clock figure if the span is absent.
+fn epoch_ms(rep: &autoac_obs::ObsReport, out: &ClsOutcome) -> f64 {
+    match rep.span("train/epoch") {
+        Some(s) if s.count > 0 => s.total_ns as f64 / 1e6 / s.count as f64,
+        _ => 1e3 * out.seconds / out.epochs_run.max(1) as f64,
+    }
+}
+
+fn metric_bits(out: &ClsOutcome) -> (u64, u64, usize) {
+    (out.macro_f1.to_bits(), out.micro_f1.to_bits(), out.epochs_run)
+}
+
+fn sampled_config(batch_size: usize) -> MinibatchConfig {
+    MinibatchConfig {
+        batch_size,
+        fanout: Some(10),
+        hops: 2,
+        batches_per_epoch: 4,
+        ..MinibatchConfig::default()
+    }
+}
+
+fn shard_config(shards: usize) -> MinibatchConfig {
+    MinibatchConfig {
+        shards,
+        strategy: ShardStrategy::DegreeLocality,
+        ..MinibatchConfig::default()
+    }
+}
+
+fn profile_json(p: &DegreeProfile) -> String {
+    format!(
+        "{{ \"deg_min\": {}, \"deg_max\": {}, \"deg_mean\": {:.3}, \"gamma_hat\": {:.3} }}",
+        p.min, p.max, p.mean, p.gamma_hat
+    )
+}
+
+fn run_full(a: &BenchArgs) -> String {
+    // Phase 1: 1M-node A/B epoch timing.
+    println!("bench_shard: phase 1 — A/B at {} nodes, {} epochs/arm", a.ab_nodes, a.ab_epochs);
+    let spec = ScaleSpec::with_total_nodes("scale-ab", a.ab_nodes);
+    let t = Instant::now();
+    let data = generate_scale(&spec, SEED);
+    let ab_gen_s = t.elapsed().as_secs_f64();
+    let ab_profile = degree_profile(&data.graph);
+    ab_profile.validate().expect("A/B graph degree profile");
+    println!(
+        "  generated {} nodes / {} edges in {ab_gen_s:.1}s ({})",
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        ab_profile.summary()
+    );
+    let cfg = gnn_cfg(&data);
+    let _ = autoac_obs::drain();
+
+    let (full_out, full_ms, full_wall) =
+        run_arm(&data, &cfg, &MinibatchConfig::full_batch(), a.ab_epochs, SEED);
+    println!("  full-batch : {full_ms:.1} ms/epoch ({full_wall:.1}s wall)");
+
+    let sampled_mb = sampled_config(1024);
+    let (sampled_out, sampled_ms, sampled_wall) =
+        run_arm(&data, &cfg, &sampled_mb, a.ab_epochs, SEED);
+    println!("  sampled    : {sampled_ms:.1} ms/epoch ({sampled_wall:.1}s wall)");
+
+    let shard_mb = shard_config(8);
+    let (shard_out, shard_ms, shard_wall) =
+        run_arm(&data, &cfg, &shard_mb, a.ab_epochs.min(2), SEED);
+    println!("  8 shards   : {shard_ms:.1} ms/epoch ({shard_wall:.1}s wall)");
+
+    let speedup_sampled = full_ms / sampled_ms;
+    let speedup_shard = full_ms / shard_ms;
+    println!("  speedup    : sampled {speedup_sampled:.1}x, shards {speedup_shard:.2}x");
+    assert!(
+        speedup_sampled >= 5.0,
+        "sampled minibatch epoch must be >= 5x faster than full-batch at \
+         {} nodes, got {speedup_sampled:.2}x ({full_ms:.1} vs {sampled_ms:.1} ms)",
+        a.ab_nodes
+    );
+    drop(data);
+
+    // Phase 2: sampled-vs-full F1 drift on the paper-scale DBLP preset
+    // (planted learnable structure; the scale generator above is
+    // timing-only).
+    println!("bench_shard: phase 2 — F1 drift on paper-scale DBLP, {} epochs", a.drift_epochs);
+    let dspec = presets::by_name("DBLP").expect("preset DBLP");
+    let ddata = synth::generate(&dspec, Scale::Paper, SEED);
+    let dcfg = gnn_cfg(&ddata);
+    let _ = autoac_obs::drain();
+    let (dfull, _, _) =
+        run_arm(&ddata, &dcfg, &MinibatchConfig::full_batch(), a.drift_epochs, SEED);
+    let (dsampled, _, _) = run_arm(&ddata, &dcfg, &sampled_config(512), a.drift_epochs, SEED);
+    let micro_drift = (dfull.micro_f1 - dsampled.micro_f1).abs();
+    let macro_drift = (dfull.macro_f1 - dsampled.macro_f1).abs();
+    println!(
+        "  full    : micro-F1 {:.4}, macro-F1 {:.4}\n  sampled : micro-F1 {:.4}, \
+         macro-F1 {:.4}\n  drift   : micro {micro_drift:.4}, macro {macro_drift:.4}",
+        dfull.micro_f1, dfull.macro_f1, dsampled.micro_f1, dsampled.macro_f1
+    );
+    assert!(
+        dsampled.micro_f1 > 2.0 / ddata.num_classes as f64,
+        "sampled training must stay well above chance at paper scale (micro-F1 {:.4}, {} classes)",
+        dsampled.micro_f1,
+        ddata.num_classes
+    );
+    let drift_nodes = ddata.graph.num_nodes();
+    drop(ddata);
+
+    // Phase 3: 10M-node generation-only profile.
+    println!("bench_shard: phase 3 — generation profile at {} nodes", a.gen_nodes);
+    let mut gspec = ScaleSpec::with_total_nodes("scale-gen", a.gen_nodes);
+    gspec.feature_dim = 0; // structure only: no feature matrix at this size
+    let t = Instant::now();
+    let gdata = generate_scale(&gspec, SEED);
+    let gen_s = t.elapsed().as_secs_f64();
+    let gen_profile = degree_profile(&gdata.graph);
+    gen_profile.validate().expect("10M graph degree profile");
+    let gen_nodes = gdata.graph.num_nodes();
+    let gen_edges = gdata.graph.num_edges();
+    let nodes_per_s = gen_nodes as f64 / gen_s;
+    println!(
+        "  generated {gen_nodes} nodes / {gen_edges} edges in {gen_s:.1}s \
+         ({nodes_per_s:.0} nodes/s; {})",
+        gen_profile.summary()
+    );
+    drop(gdata);
+
+    format!(
+        "{{\n  \"smoke\": false,\n  \"timer_source\": \"obs:train/epoch\",\n  \
+         \"ab\": {{\n    \"nodes\": {ab_n},\n    \"edges\": {ab_e},\n    \
+         \"gen_seconds\": {ab_gen_s:.2},\n    \"profile\": {ab_prof},\n    \
+         \"epochs\": {ab_epochs},\n    \
+         \"epoch_ms_full\": {full_ms:.2},\n    \"epoch_ms_sampled\": {sampled_ms:.2},\n    \
+         \"epoch_ms_shard\": {shard_ms:.2},\n    \
+         \"wall_s_full\": {full_wall:.2},\n    \"wall_s_sampled\": {sampled_wall:.2},\n    \
+         \"wall_s_shard\": {shard_wall:.2},\n    \
+         \"speedup_sampled_vs_full\": {speedup_sampled:.2},\n    \
+         \"speedup_shard_vs_full\": {speedup_shard:.3},\n    \
+         \"speedup_target\": 5.0,\n    \"speedup_ok\": true,\n    \
+         \"sampled\": {{ \"batch_size\": 1024, \"fanout\": 10, \"hops\": 2, \
+         \"batches_per_epoch\": 4 }},\n    \
+         \"shard\": {{ \"shards\": 8, \"strategy\": \"degree-locality\" }},\n    \
+         \"full_micro_f1\": {af_mi:.6},\n    \"sampled_micro_f1\": {as_mi:.6},\n    \
+         \"shard_micro_f1\": {ash_mi:.6}\n  }},\n  \
+         \"drift\": {{\n    \"dataset\": \"DBLP\",\n    \"scale\": \"paper\",\n    \
+         \"nodes\": {d_n},\n    \"epochs\": {d_ep},\n    \
+         \"full_micro_f1\": {df_mi:.6},\n    \"full_macro_f1\": {df_ma:.6},\n    \
+         \"sampled_micro_f1\": {ds_mi:.6},\n    \"sampled_macro_f1\": {ds_ma:.6},\n    \
+         \"micro_drift_abs\": {micro_drift:.6},\n    \"macro_drift_abs\": {macro_drift:.6}\n  }},\n  \
+         \"gen\": {{\n    \"nodes\": {gen_nodes},\n    \"edges\": {gen_edges},\n    \
+         \"seconds\": {gen_s:.2},\n    \"nodes_per_sec\": {nodes_per_s:.0},\n    \
+         \"profile\": {gen_prof}\n  }}\n}}\n",
+        ab_n = spec.total_nodes(),
+        ab_e = spec.attr_edges + spec.plain_edges,
+        ab_prof = profile_json(&ab_profile),
+        ab_epochs = a.ab_epochs,
+        af_mi = full_out.micro_f1,
+        as_mi = sampled_out.micro_f1,
+        ash_mi = shard_out.micro_f1,
+        d_n = drift_nodes,
+        d_ep = a.drift_epochs,
+        df_mi = dfull.micro_f1,
+        df_ma = dfull.macro_f1,
+        ds_mi = dsampled.micro_f1,
+        ds_ma = dsampled.macro_f1,
+        gen_prof = profile_json(&gen_profile),
+    )
+}
+
+fn run_smoke(_a: &BenchArgs) -> String {
+    println!("bench_shard: smoke — tiny-graph identity + schedule exercise");
+    let data = generate_scale(&ScaleSpec::with_total_nodes("scale-smoke", 2_000), SEED);
+    let profile = degree_profile(&data.graph);
+    profile.validate().expect("smoke degree profile");
+    let cfg = gnn_cfg(&data);
+    let tc = TrainConfig { epochs: 8, patience: 8, ..TrainConfig::default() };
+
+    // The legacy pipeline and the minibatch pipeline under the degenerate
+    // full-batch config must agree bitwise (same code path by routing).
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let legacy_pipe = Pipeline::new(&data, Backbone::Gcn, &cfg, CompletionMode::Zero, &mut rng);
+    let legacy = train_node_classification(&legacy_pipe, &data, &tc, SEED);
+    let _ = autoac_obs::drain();
+    let (full, full_ms, _) =
+        run_arm(&data, &cfg, &MinibatchConfig::full_batch(), tc.epochs, SEED);
+    assert_eq!(
+        metric_bits(&legacy),
+        metric_bits(&full),
+        "full-batch minibatch config must be bitwise identical to the legacy pipeline"
+    );
+    println!("  identity  : legacy == minibatch(full_batch), bitwise");
+
+    let (sampled, sampled_ms, _) = run_arm(
+        &data,
+        &cfg,
+        &MinibatchConfig {
+            batch_size: 64,
+            fanout: Some(8),
+            batches_per_epoch: 2,
+            ..MinibatchConfig::default()
+        },
+        tc.epochs,
+        SEED,
+    );
+    let (shard, shard_ms, _) = run_arm(&data, &cfg, &shard_config(3), tc.epochs, SEED);
+    println!(
+        "  epoch ms  : full {full_ms:.2}, sampled {sampled_ms:.2}, shards(3) {shard_ms:.2}"
+    );
+
+    format!(
+        "{{\n  \"smoke\": true,\n  \"timer_source\": \"obs:train/epoch\",\n  \
+         \"nodes\": {},\n  \"bitwise_identical\": true,\n  \
+         \"epoch_ms_full\": {full_ms:.3},\n  \"epoch_ms_sampled\": {sampled_ms:.3},\n  \
+         \"epoch_ms_shard\": {shard_ms:.3},\n  \
+         \"full_micro_f1\": {:.6},\n  \"sampled_micro_f1\": {:.6},\n  \
+         \"shard_micro_f1\": {:.6},\n  \
+         \"profile\": {}\n}}\n",
+        data.graph.num_nodes(),
+        full.micro_f1,
+        sampled.micro_f1,
+        shard.micro_f1,
+        profile_json(&profile),
+    )
+}
+
+fn main() {
+    let a = BenchArgs::parse();
+    // Epoch times come from obs spans, so obs is force-enabled regardless
+    // of AUTOAC_OBS in the environment.
+    autoac_obs::set_force(Some(true));
+    let json = if a.smoke { run_smoke(&a) } else { run_full(&a) };
+    autoac_obs::set_force(None);
+    if let Some(dir) = a.out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    fs::write(&a.out, json).expect("write bench report");
+    println!("  wrote     : {}", display(&a.out));
+}
+
+fn display(p: &Path) -> String {
+    p.to_string_lossy().into_owned()
+}

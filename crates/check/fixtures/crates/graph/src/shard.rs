@@ -1,0 +1,20 @@
+//! Seeded lint fixture — NOT compiled into any crate. Mirrors the
+//! partitioner's layout (`crates/graph/src/shard.rs`) so the fixture tree
+//! proves the lint rules cover the sharding subsystem: library code in the
+//! partitioner must not bare-unwrap (a panic mid-partition poisons every
+//! downstream shard schedule).
+
+pub fn seeded_shard_of(spec: &str, num_shards: usize) -> usize {
+    // Violation (unwrap-in-lib): a malformed shard spec would panic the
+    // partitioner instead of surfacing a configuration error.
+    let shard: usize = spec.trim().parse().unwrap();
+    shard % num_shards.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules stay exempt even inside the partitioner fixture.
+    fn unflagged() {
+        let _ = "3".trim().parse::<usize>().unwrap();
+    }
+}

@@ -216,7 +216,13 @@ mod tests {
 
     fn state() -> ServeState {
         let mut s = ServeState {
-            meta: RunMeta { kind: SERVE_KIND.into(), graph_fp: 0x1234, config_fp: 0, seed: 11 },
+            meta: RunMeta {
+                kind: SERVE_KIND.into(),
+                graph_fp: 0x1234,
+                config_fp: 0,
+                seed: 11,
+                segment_fp: 0,
+            },
             preset: "imdb".into(),
             scale: "tiny".into(),
             data_seed: 5,

@@ -71,14 +71,26 @@ pub struct RunMeta {
     pub config_fp: u64,
     /// RNG seed of the run.
     pub seed: u64,
+    /// Fingerprint of the shard/segment plan the run trains over
+    /// (`autoac_graph::ShardPlan::fingerprint` mixed with the minibatch
+    /// schedule), or `0` for whole-graph full-batch runs. Resuming a
+    /// sharded run under a different partition or batch schedule would
+    /// silently diverge, so the plan is part of the identity.
+    pub segment_fp: u64,
 }
 
 impl RunMeta {
+    /// Whole-graph identity (no shard/segment plan).
+    pub fn whole_graph(kind: impl Into<String>, graph_fp: u64, config_fp: u64, seed: u64) -> Self {
+        Self { kind: kind.into(), graph_fp, config_fp, seed, segment_fp: 0 }
+    }
+
     pub(crate) fn write(&self, snap: &mut Snapshot) {
         snap.put_str("meta.kind", &self.kind);
         snap.put_u64("meta.graph_fp", self.graph_fp);
         snap.put_u64("meta.config_fp", self.config_fp);
         snap.put_u64("meta.seed", self.seed);
+        snap.put_u64("meta.segment_fp", self.segment_fp);
     }
 
     pub(crate) fn read(snap: &Snapshot) -> Result<Self, CkptError> {
@@ -87,6 +99,13 @@ impl RunMeta {
             graph_fp: snap.get_u64("meta.graph_fp")?,
             config_fp: snap.get_u64("meta.config_fp")?,
             seed: snap.get_u64("meta.seed")?,
+            // Absent in snapshots written before segment awareness: those
+            // were whole-graph runs by construction.
+            segment_fp: if snap.contains("meta.segment_fp") {
+                snap.get_u64("meta.segment_fp")?
+            } else {
+                0
+            },
         })
     }
 
@@ -103,6 +122,7 @@ impl RunMeta {
             ("graph fingerprint", self.graph_fp, expected.graph_fp),
             ("config fingerprint", self.config_fp, expected.config_fp),
             ("seed", self.seed, expected.seed),
+            ("segment fingerprint", self.segment_fp, expected.segment_fp),
         ] {
             if found != want {
                 return Err(CkptError::Mismatch { field, found, expected: want });
@@ -282,7 +302,7 @@ mod tests {
     use super::*;
 
     fn meta() -> RunMeta {
-        RunMeta { kind: "search".into(), graph_fp: 0xAB, config_fp: 0xCD, seed: 7 }
+        RunMeta { kind: "search".into(), graph_fp: 0xAB, config_fp: 0xCD, seed: 7, segment_fp: 0 }
     }
 
     fn search_state() -> SearchState {
@@ -368,6 +388,27 @@ mod tests {
         let mut d = meta();
         d.kind = "train-cls".into();
         assert!(a.validate(&d).is_err());
+        let mut e = meta();
+        e.segment_fp = 0x5A5A;
+        assert!(matches!(
+            a.validate(&e),
+            Err(CkptError::Mismatch { field: "segment fingerprint", .. })
+        ));
+    }
+
+    #[test]
+    fn segment_fp_defaults_to_whole_graph_when_absent() {
+        // A snapshot written without the segment field (pre-shard format)
+        // reads back as segment_fp = 0, i.e. a whole-graph run.
+        let mut snap = Snapshot::new();
+        let m = meta();
+        snap.put_str("meta.kind", &m.kind);
+        snap.put_u64("meta.graph_fp", m.graph_fp);
+        snap.put_u64("meta.config_fp", m.config_fp);
+        snap.put_u64("meta.seed", m.seed);
+        let back = RunMeta::read(&snap).unwrap();
+        assert_eq!(back.segment_fp, 0);
+        assert!(back.validate(&RunMeta::whole_graph("search", 0xAB, 0xCD, 7)).is_ok());
     }
 
     #[test]

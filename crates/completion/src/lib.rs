@@ -11,5 +11,8 @@
 mod module;
 mod ops;
 
-pub use module::{complete_assigned, complete_mixture, complete_single, restrict_rows, Transform};
+pub use module::{
+    complete_assigned, complete_assigned_in, complete_mixture, complete_mixture_in,
+    complete_single, restrict_rows, Transform,
+};
 pub use ops::{CompletionContext, CompletionOp, CompletionOps};

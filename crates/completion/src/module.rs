@@ -97,6 +97,75 @@ pub fn complete_single(ops: &CompletionOps, x0: &Tensor, op: CompletionOp) -> Te
     complete_assigned(ops, x0, &vec![op; n])
 }
 
+/// [`complete_mixture`] against an external (subgraph) context: `ctx` and
+/// `x0` live in the subgraph's id space, `weights` is
+/// `(ctx.num_missing(), |O|)`, and `onehot_rows` maps each missing node to
+/// its row in the global one-hot table (see
+/// [`CompletionOps::op_output_in`]).
+pub fn complete_mixture_in(
+    ops: &CompletionOps,
+    ctx: &crate::ops::CompletionContext,
+    onehot_rows: &[u32],
+    x0: &Tensor,
+    weights: &Tensor,
+) -> Tensor {
+    assert_eq!(
+        weights.shape(),
+        (ctx.num_missing(), CompletionOp::ALL.len()),
+        "complete_mixture_in: weight shape mismatch"
+    );
+    if ctx.num_missing() == 0 {
+        return x0.clone();
+    }
+    let outputs = ops.all_op_outputs_in(ctx, onehot_rows, x0);
+    let mut completed: Option<Tensor> = None;
+    for (o, out) in outputs.iter().enumerate() {
+        let w = weights.slice_cols(o, 1); // (n⁻_sub, 1)
+        let term = out.mul_col_vec(&w);
+        completed = Some(match completed {
+            Some(acc) => acc.add(&term),
+            None => term,
+        });
+    }
+    let completed = completed.expect("|O| > 0");
+    x0.add(&completed.scatter_add_rows(&ctx.missing, ctx.num_nodes))
+}
+
+/// [`complete_assigned`] against an external (subgraph) context; see
+/// [`complete_mixture_in`] for the id-space conventions.
+pub fn complete_assigned_in(
+    ops: &CompletionOps,
+    ctx: &crate::ops::CompletionContext,
+    onehot_rows: &[u32],
+    x0: &Tensor,
+    assignment: &[CompletionOp],
+) -> Tensor {
+    assert_eq!(
+        assignment.len(),
+        ctx.num_missing(),
+        "complete_assigned_in: assignment length mismatch"
+    );
+    if ctx.num_missing() == 0 {
+        return x0.clone();
+    }
+    let mut result = x0.clone();
+    for &op in &CompletionOp::ALL {
+        let positions: Vec<u32> = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == op).then_some(i as u32))
+            .collect();
+        if positions.is_empty() {
+            continue;
+        }
+        let out = ops.op_output_in(ctx, onehot_rows, op, x0); // (n⁻_sub, d)
+        let rows = out.gather_rows(&positions);
+        let globals: Vec<u32> = positions.iter().map(|&p| ctx.missing[p as usize]).collect();
+        result = result.add(&rows.scatter_add_rows(&globals, ctx.num_nodes));
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +269,71 @@ mod tests {
         assert_eq!(r.row_nnz(0), 0);
         assert_eq!(r.row_nnz(1), 1);
         assert_eq!(r.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn external_ctx_on_whole_graph_matches_legacy() {
+        let (ops, x0) = setup();
+        let identity: Vec<u32> = (0..ops.ctx().num_missing() as u32).collect();
+        let assignment = [CompletionOp::Mean, CompletionOp::OneHot];
+        let legacy = complete_assigned(&ops, &x0, &assignment).to_matrix();
+        let external =
+            complete_assigned_in(&ops, ops.ctx(), &identity, &x0, &assignment).to_matrix();
+        assert_eq!(legacy, external);
+        let w = Tensor::constant(Matrix::full(2, 4, 0.25));
+        let legacy_mix = complete_mixture(&ops, &x0, &w).to_matrix();
+        let external_mix = complete_mixture_in(&ops, ops.ctx(), &identity, &x0, &w).to_matrix();
+        assert_eq!(legacy_mix, external_mix);
+    }
+
+    #[test]
+    fn subgraph_mean_rows_of_core_nodes_are_exact() {
+        // Full graph: movies 0-2 attributed, actors 3-4 missing. The shard
+        // that owns actor 3 with its full 1-hop halo is {0, 1, 3}; the mean
+        // row of actor 3 computed on that subgraph must be bitwise the row
+        // computed on the whole graph.
+        let (ops, x0) = setup();
+        let full = complete_assigned(&ops, &x0, &[CompletionOp::Mean, CompletionOp::Mean])
+            .to_matrix();
+
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("m", 2); // movies 0, 1 (global 0, 1)
+        let a = b.add_node_type("a", 1); // actor 2 (global 3)
+        let e = b.add_edge_type("m-a", m, a);
+        b.add_edge(e, 0, 2);
+        b.add_edge(e, 1, 2);
+        let sub = b.build();
+        let sub_ctx = CompletionContext::build(&sub, &[true, true, false]);
+        let sub_x0 = Tensor::constant(Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[3.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]));
+        // Actor 3 is row 0 of the global one-hot table.
+        let out =
+            complete_assigned_in(&ops, &sub_ctx, &[0], &sub_x0, &[CompletionOp::Mean]).to_matrix();
+        let got: Vec<u32> = out.row(2).iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = full.row(3).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "core mean row must be exact under core+halo sharding");
+    }
+
+    #[test]
+    fn external_onehot_rows_route_gradients_to_sampled_rows() {
+        let (ops, x0) = setup();
+        // Sample only the second missing node (global one-hot row 1).
+        let mut b = HeteroGraph::builder();
+        let m = b.add_node_type("m", 1); // movie 2 (global 2)
+        let a = b.add_node_type("a", 1); // actor 4 (global 4)
+        let e = b.add_edge_type("m-a", m, a);
+        b.add_edge(e, 0, 1);
+        let sub = b.build();
+        let sub_ctx = CompletionContext::build(&sub, &[true, false]);
+        let sub_x0 = Tensor::constant(x0.to_matrix().gather_rows(&[2, 4]));
+        let out = complete_assigned_in(&ops, &sub_ctx, &[1], &sub_x0, &[CompletionOp::OneHot]);
+        out.square().sum().backward();
+        let g = ops.op_params(CompletionOp::OneHot)[0].grad().expect("onehot grad");
+        assert!(g.row(1).iter().any(|&v| v != 0.0), "sampled row must get a gradient");
+        assert!(g.row(0).iter().all(|&v| v == 0.0), "unsampled row must stay zero");
     }
 
     #[test]

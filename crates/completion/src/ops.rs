@@ -186,6 +186,61 @@ impl CompletionOps {
         CompletionOp::ALL.iter().map(|&op| self.op_output(op, x0)).collect()
     }
 
+    /// Evaluates one op against an *external* context — the minibatch path
+    /// builds a [`CompletionContext`] over a sampled subgraph and reuses
+    /// this instance's trainable parameters on it.
+    ///
+    /// `ctx` indexes nodes in its own (subgraph-local) id space; `x0` is the
+    /// `(n_sub, d)` projected block of the subgraph. `onehot_rows[i]` maps
+    /// the `i`-th missing node of `ctx` to its row in this instance's global
+    /// one-hot table, so one-hot completion stays per-node and
+    /// differentiable (gradients land on exactly the sampled rows).
+    pub fn op_output_in(
+        &self,
+        ctx: &CompletionContext,
+        onehot_rows: &[u32],
+        op: CompletionOp,
+        x0: &Tensor,
+    ) -> Tensor {
+        assert_eq!(
+            onehot_rows.len(),
+            ctx.num_missing(),
+            "op_output_in: onehot_rows must map every missing node of the context"
+        );
+        match op {
+            CompletionOp::Mean => self
+                .w_mean
+                .forward(&spmm(&ctx.mean_agg, &ctx.mean_agg_t, x0))
+                .gather_rows(&ctx.missing),
+            CompletionOp::Gcn => self
+                .w_gcn
+                .forward(&spmm(&ctx.gcn_agg, &ctx.gcn_agg_t, x0))
+                .gather_rows(&ctx.missing),
+            CompletionOp::Ppnp => ppr::ppnp_propagate(
+                &ctx.sym_adj,
+                &self.w_ppnp.forward(x0),
+                self.ppnp_alpha,
+                self.ppnp_k,
+            )
+            .gather_rows(&ctx.missing),
+            CompletionOp::OneHot => self.onehot.gather_rows(onehot_rows),
+        }
+    }
+
+    /// All four op outputs against an external context, in
+    /// [`CompletionOp::ALL`] order.
+    pub fn all_op_outputs_in(
+        &self,
+        ctx: &CompletionContext,
+        onehot_rows: &[u32],
+        x0: &Tensor,
+    ) -> Vec<Tensor> {
+        CompletionOp::ALL
+            .iter()
+            .map(|&op| self.op_output_in(ctx, onehot_rows, op, x0))
+            .collect()
+    }
+
     /// Trainable parameters of every op.
     pub fn params(&self) -> Vec<Tensor> {
         vec![

@@ -283,6 +283,7 @@ pub fn train_serve_state(spec: &ServeTrainSpec) -> Result<(ServeState, ClsOutcom
             graph_fp: data.graph.structural_fingerprint(),
             config_fp: 0,
             seed: spec.seed,
+            segment_fp: 0,
         },
         preset: spec.preset.clone(),
         scale: spec.scale.clone(),

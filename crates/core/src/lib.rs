@@ -26,15 +26,22 @@ pub mod cluster;
 pub mod hgca;
 pub mod hgnnac;
 pub mod infer;
+pub mod minibatch;
 pub mod pipeline;
 pub mod proximal;
+pub mod sampler;
 pub mod search;
 pub mod trainer;
 
 pub use hgca::{pretrain_hgca, run_hgca_classification, HgcaConfig, HgcaPipe};
 pub use infer::{train_serve_state, InferenceModel, ServeStateInfo, ServeTrainSpec};
 pub use hgnnac::{run_hgnnac_classification, HgnnAcConfig, HgnnAcPipe};
+pub use minibatch::{
+    parse_shards_env, run_autoac_classification_minibatch, search_minibatch,
+    train_node_classification_minibatch, MinibatchConfig, MinibatchPipeline,
+};
 pub use pipeline::{random_assignment, Backbone, CompletionMode, ForwardPipe, Pipeline};
+pub use sampler::{batch_rng, NeighborSampler, SampledBatch};
 pub use search::{
     derive_assignment, run_autoac_classification, run_autoac_classification_checkpointed,
     run_autoac_link_prediction, run_autoac_link_prediction_checkpointed, search,

@@ -316,22 +316,12 @@ pub fn search_checkpointed(
         graph_fp: data.graph.structural_fingerprint(),
         config_fp: ac.fingerprint(),
         seed,
+        segment_fp: 0,
     };
     let mut start_epoch = 0usize;
     let mut elapsed_prior = 0.0f64;
     if let Some(pol) = policy {
-        let resumed = pol
-            .resume_snapshot()
-            .unwrap_or_else(|e| panic!("autoac-ckpt: cannot resume search: {e}"));
-        if let Some((_, snap)) = resumed {
-            let state = SearchState::from_snapshot(&snap)
-                .unwrap_or_else(|e| panic!("autoac-ckpt: invalid search snapshot: {e}"));
-            state.meta.validate(&meta).unwrap_or_else(|e| panic!("autoac-ckpt: {e}"));
-            assert_eq!(
-                state.omega.len(),
-                omega.len(),
-                "autoac-ckpt: snapshot has a different ω parameter count"
-            );
+        if let Some(state) = resume_search_state(pol, &meta, omega.len()) {
             alpha.set_value(state.alpha);
             for (p, m) in omega.iter().zip(state.omega) {
                 p.set_value(m);
@@ -464,7 +454,6 @@ pub fn search_checkpointed(
         // ------- Snapshot the completed epoch -----------------------------
         if let Some(pol) = policy {
             if pol.should_checkpoint(epoch + 1) {
-                let _obs = autoac_obs::span("ckpt");
                 let state = SearchState {
                     meta: meta.clone(),
                     epochs_done: (epoch + 1) as u64,
@@ -479,23 +468,7 @@ pub fn search_checkpointed(
                     best: best_snapshot.clone(),
                     gmoc_trace: gmoc_trace.clone(),
                 };
-                let write_start = Instant::now();
-                match pol.save(epoch + 1, &state.to_snapshot()) {
-                    Ok(_) => autoac_obs::hist_record(
-                        "ckpt_write_ns",
-                        write_start.elapsed().as_nanos() as f64,
-                    ),
-                    Err(e) => {
-                        // A failed snapshot must not kill a healthy run,
-                        // but it must be visible in the run summary, not
-                        // just on stderr.
-                        autoac_obs::counter_add("ckpt_write_failures", 1);
-                        autoac_obs::warn(
-                            "ckpt",
-                            &format!("failed to write search snapshot: {e}"),
-                        );
-                    }
-                }
+                save_search_snapshot(pol, epoch + 1, &state.to_snapshot());
             }
             pol.throttle();
         }
@@ -518,6 +491,55 @@ pub fn search_checkpointed(
         search_seconds,
         gmoc_trace,
         op_histogram,
+    }
+}
+
+/// Loads and validates the latest search snapshot under `pol`, panicking on
+/// identity mismatches (wrong graph/config/seed/segment) and ω-count drift;
+/// returns `None` when there is nothing to resume from. Shared by the
+/// full-batch and minibatch search loops.
+pub(crate) fn resume_search_state(
+    pol: &CheckpointPolicy,
+    expected: &RunMeta,
+    n_omega: usize,
+) -> Option<SearchState> {
+    let resumed = pol
+        .resume_snapshot()
+        .unwrap_or_else(|e| panic!("autoac-ckpt: cannot resume search: {e}"));
+    let (_, snap) = resumed?;
+    let state = SearchState::from_snapshot(&snap)
+        .unwrap_or_else(|e| panic!("autoac-ckpt: invalid search snapshot: {e}"));
+    state
+        .meta
+        .validate(expected)
+        .unwrap_or_else(|e| panic!("autoac-ckpt: {e}"));
+    assert_eq!(
+        state.omega.len(),
+        n_omega,
+        "autoac-ckpt: snapshot has a different ω parameter count"
+    );
+    Some(state)
+}
+
+/// Writes one search snapshot under an obs `ckpt` span, recording the write
+/// latency; a failure is counted and warned about, never fatal.
+pub(crate) fn save_search_snapshot(
+    pol: &CheckpointPolicy,
+    epochs_done: usize,
+    snap: &autoac_ckpt::Snapshot,
+) {
+    let _obs = autoac_obs::span("ckpt");
+    let write_start = Instant::now();
+    match pol.save(epochs_done, snap) {
+        Ok(_) => {
+            autoac_obs::hist_record("ckpt_write_ns", write_start.elapsed().as_nanos() as f64);
+        }
+        Err(e) => {
+            // A failed snapshot must not kill a healthy run, but it must be
+            // visible in the run summary, not just on stderr.
+            autoac_obs::counter_add("ckpt_write_failures", 1);
+            autoac_obs::warn("ckpt", &format!("failed to write search snapshot: {e}"));
+        }
     }
 }
 

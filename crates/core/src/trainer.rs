@@ -136,6 +136,7 @@ pub fn train_node_classification_checkpointed(
         graph_fp: data.graph.structural_fingerprint(),
         config_fp: cfg.fingerprint(),
         seed,
+        segment_fp: 0,
     };
     let mut start_epoch = 0usize;
     let mut elapsed_prior = 0.0f64;
@@ -221,7 +222,11 @@ pub fn train_node_classification_checkpointed(
 /// write latency; a failure is counted and warned about (visible in the
 /// run summary), never fatal — a failed snapshot must not kill a healthy
 /// run.
-fn save_train_snapshot(pol: &CheckpointPolicy, epochs_done: usize, snap: &autoac_ckpt::Snapshot) {
+pub(crate) fn save_train_snapshot(
+    pol: &CheckpointPolicy,
+    epochs_done: usize,
+    snap: &autoac_ckpt::Snapshot,
+) {
     let _obs = autoac_obs::span("ckpt");
     let write_start = Instant::now();
     match pol.save(epochs_done, snap) {
@@ -238,7 +243,7 @@ fn save_train_snapshot(pol: &CheckpointPolicy, epochs_done: usize, snap: &autoac
 /// Loads and validates the latest training snapshot under `pol`, panicking
 /// on identity mismatches (wrong graph/config/seed) and on parameter-count
 /// drift; returns `None` when there is nothing to resume from.
-fn resume_train_state(
+pub(crate) fn resume_train_state(
     pol: &CheckpointPolicy,
     expected: &RunMeta,
     n_params: usize,
@@ -326,6 +331,7 @@ pub fn train_link_prediction_checkpointed(
         graph_fp: data.graph.structural_fingerprint(),
         config_fp: cfg.fingerprint(),
         seed,
+        segment_fp: 0,
     };
     let mut start_epoch = 0usize;
     let mut elapsed_prior = 0.0f64;

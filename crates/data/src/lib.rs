@@ -15,8 +15,10 @@ pub mod io;
 pub mod json;
 pub mod masking;
 pub mod presets;
+pub mod scale;
 pub mod synth;
 
 pub use dataset::{Dataset, Split};
 pub use masking::{mask_edges, mask_edges_of_type, sample_train_negatives, LinkSplit};
+pub use scale::{degree_profile, generate_scale, DegreeProfile, ScaleSpec};
 pub use synth::{generate, EdgeTypeSpec, GraphSpec, NodeTypeSpec, Scale};

@@ -72,6 +72,47 @@ impl FeatureEncoder {
         Tensor::concat_rows(&refs)
     }
 
+    /// Encodes only `nodes` (sorted ascending global ids) into a
+    /// `(nodes.len(), d)` tensor, row `i` being the embedding of `nodes[i]`.
+    ///
+    /// Rows are computed per type by gathering the raw feature rows before
+    /// the projection, so cost is `O(|nodes| · d)` — independent of the
+    /// graph size. Row-independent kernels (matmul + bias) make each row
+    /// bitwise equal to the corresponding row of [`FeatureEncoder::encode`].
+    pub fn encode_subset(&self, features: &[Option<Matrix>], nodes: &[u32]) -> Tensor {
+        assert!(!nodes.is_empty(), "encoder: empty node subset");
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "subset must be sorted unique");
+        let mut blocks: Vec<Tensor> = Vec::new();
+        let mut offset = 0u32; // global id where the current type starts
+        let mut cursor = 0usize; // position in `nodes`
+        for ((proj, feat), &count) in self.projections.iter().zip(features).zip(&self.type_counts)
+        {
+            let end = offset + count as u32;
+            let start = cursor;
+            while cursor < nodes.len() && nodes[cursor] < end {
+                cursor += 1;
+            }
+            if cursor > start {
+                let block = match (proj, feat) {
+                    (Some(p), Some(f)) => {
+                        let local: Vec<u32> =
+                            nodes[start..cursor].iter().map(|&v| v - offset).collect();
+                        p.forward(&Tensor::constant(f.gather_rows(&local)))
+                    }
+                    _ => Tensor::constant(Matrix::zeros(cursor - start, self.dim)),
+                };
+                blocks.push(block);
+            }
+            offset = end;
+        }
+        assert_eq!(cursor, nodes.len(), "encoder: subset node id out of range");
+        if blocks.len() == 1 {
+            return blocks.pop().expect("one block");
+        }
+        let refs: Vec<&Tensor> = blocks.iter().collect();
+        Tensor::concat_rows(&refs)
+    }
+
     /// Trainable parameters of every projection.
     pub fn params(&self) -> Vec<Tensor> {
         self.projections.iter().flatten().flat_map(Linear::params).collect()
@@ -124,6 +165,32 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let enc = FeatureEncoder::new(&g, &feats, 4, &mut rng);
         enc.encode(&feats).sum().backward();
+        assert!(enc.params()[0].grad().is_some());
+    }
+
+    #[test]
+    fn encode_subset_rows_match_full_encode() {
+        let (g, feats) = toy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = FeatureEncoder::new(&g, &feats, 8, &mut rng);
+        let full = enc.encode(&feats).to_matrix();
+        // A subset straddling both types, including a zero (actor) row.
+        let nodes = [0u32, 2, 4];
+        let sub = enc.encode_subset(&feats, &nodes).to_matrix();
+        assert_eq!(sub.rows(), 3);
+        for (i, &v) in nodes.iter().enumerate() {
+            let want: Vec<u32> = full.row(v as usize).iter().map(|x| x.to_bits()).collect();
+            let got: Vec<u32> = sub.row(i).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want, "row for node {v} must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn encode_subset_gradients_flow() {
+        let (g, feats) = toy();
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = FeatureEncoder::new(&g, &feats, 4, &mut rng);
+        enc.encode_subset(&feats, &[1, 2]).sum().backward();
         assert!(enc.params()[0].grad().is_some());
     }
 

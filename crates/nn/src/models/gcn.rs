@@ -37,6 +37,30 @@ impl Gcn {
         }
         Self { adj, layers, dropout: cfg.dropout }
     }
+
+    /// Runs the layer stack over an *externally supplied* adjacency — the
+    /// minibatch path feeds the normalized operator of a sampled subgraph
+    /// while reusing this model's (whole-graph) weights. Consumes RNG draws
+    /// exactly like [`Gnn::forward`].
+    pub fn forward_on(
+        &self,
+        adj: &Rc<Csr>,
+        x0: &Tensor,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Forward {
+        let mut h = x0.clone();
+        let mut hidden = h.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            h = h.dropout(self.dropout, training, rng);
+            h = spmm(adj, adj, &layer.forward(&h));
+            if l + 1 < self.layers.len() {
+                h = h.relu();
+                hidden = h.clone();
+            }
+        }
+        Forward { hidden, output: h }
+    }
 }
 
 impl Gnn for Gcn {
@@ -45,17 +69,8 @@ impl Gnn for Gcn {
     }
 
     fn forward(&self, x0: &Tensor, training: bool, rng: &mut StdRng) -> Forward {
-        let mut h = x0.clone();
-        let mut hidden = h.clone();
-        for (l, layer) in self.layers.iter().enumerate() {
-            h = h.dropout(self.dropout, training, rng);
-            h = spmm(&self.adj, &self.adj, &layer.forward(&h));
-            if l + 1 < self.layers.len() {
-                h = h.relu();
-                hidden = h.clone();
-            }
-        }
-        Forward { hidden, output: h }
+        let adj = Rc::clone(&self.adj);
+        self.forward_on(&adj, x0, training, rng)
     }
 
     fn params(&self) -> Vec<Tensor> {

@@ -16,6 +16,12 @@
 #    suite must pass with AUTOAC_CHECK=1 armed (zero sanitizer findings on
 #    clean code), and check_smoke must prove every analysis catches its
 #    seeded bug class;
+#  - the sharding pass (bench_shard --smoke): on a tiny power-law graph,
+#    the degenerate full-batch minibatch config must produce bitwise-
+#    identical metrics to the legacy whole-graph pipeline, and the
+#    neighbor-sampled and type-aware shard schedules must run end to end
+#    (the smoke run writes to a temp dir; the committed
+#    results/BENCH_shard.json comes from a paper-scale run);
 #  - the observability pass (obs_smoke): the same short search + retrain
 #    with AUTOAC_OBS=0 and AUTOAC_OBS=1 must produce byte-identical result
 #    digests (instrumentation is read-only), and the enabled run must
@@ -109,6 +115,15 @@ echo "== allocation benchmark (bench_alloc → results/BENCH_alloc.json) =="
 # results/BENCH_alloc.json.
 ./target/release/bench_alloc --scale tiny --epochs 10 --out "$WORK/bench_alloc_smoke.json"
 
+echo "== sharding pass (bench_shard smoke: full-batch digest identity + schedules) =="
+# The binary asserts the degenerate full-batch minibatch config is bitwise
+# identical to the legacy pipeline (the sampled-vs-full digest check), then
+# exercises the sampled and shard schedules end to end.
+# --out keeps the smoke run from clobbering the committed paper-scale
+# results/BENCH_shard.json (regenerate with: ./target/release/bench_shard).
+./target/release/bench_shard --smoke --out "$WORK/bench_shard_smoke.json" \
+  || { echo "verify.sh: FAIL — bench_shard smoke (identity or schedules) failed"; exit 1; }
+
 echo "== observability pass (obs_smoke: bitwise identity + JSONL validation) =="
 OBS_SMOKE="./target/release/obs_smoke"
 OBS_ARGS=(--scale tiny --search-epochs 6 --epochs 6)
@@ -169,4 +184,4 @@ echo "   batched and unbatched serving digests are byte-identical; graceful shut
 "$SERVE_BENCH" --smoke --out "$WORK/bench_serve_smoke.json" \
   || { echo "verify.sh: FAIL — serve_bench in-process A/B failed"; exit 1; }
 
-echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, obs smoke, kernel dispatch, and serving OK"
+echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, sharding, obs smoke, kernel dispatch, and serving OK"
