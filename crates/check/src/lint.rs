@@ -92,6 +92,17 @@ fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
                 *in_block_comment = true;
                 i += 2;
             }
+            // Raw (and raw-byte) string literal: `r"…"`, `r#"…"#`,
+            // `br"…"` — backslashes are literal and `"` only closes when
+            // followed by the matching number of `#`s, so the ordinary
+            // string path below must never see one (an embedded `"` would
+            // leak the literal's tail into scanned code, and a trailing
+            // `\` would hide real code after the literal).
+            b'r' | b'b' if raw_string_len(bytes, i).is_some() => {
+                // Unterminated on this line (multi-line raw string):
+                // conservatively consume the rest of the line.
+                i += raw_string_len(bytes, i).expect("checked above");
+            }
             b'"' => {
                 // Skip the string literal (escapes handled; raw strings in
                 // this codebase don't contain braces or rule patterns).
@@ -123,6 +134,42 @@ fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
         }
     }
     out
+}
+
+/// If `bytes[i..]` starts a raw (or raw-byte) string literal — `r"…"`,
+/// `r#"…"#`, `br"…"`, … — returns the byte length to consume: the whole
+/// literal when it closes on this line, otherwise everything to the end of
+/// the line. `None` when `i` does not start a raw string (including when
+/// the `r` is the tail of a longer identifier like `var`).
+fn raw_string_len(bytes: &[u8], i: usize) -> Option<usize> {
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return None; // `foor"…"` is ident `foor` then an ordinary string
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` `#`s.
+    while j < bytes.len() {
+        if bytes[j] == b'"' && bytes[j + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(bytes.len() - i) // unterminated on this line
 }
 
 /// True when `needle` occurs in `text` delimited by non-identifier chars.
@@ -473,6 +520,33 @@ mod tests {
         assert!(blk);
         assert_eq!(strip_line("y */ b", &mut blk), " b");
         assert!(!blk);
+    }
+
+    #[test]
+    fn rule_patterns_inside_string_literals_never_fire() {
+        // Pinned regression: a rule pattern inside ANY string literal —
+        // ordinary, raw, hash-delimited raw, or raw-byte — must not reach
+        // the rule scanner. The pre-fix scanner treated `\` inside raw
+        // strings as an escape and `"` inside `r#"…"#` as a terminator,
+        // so patterns leaked out (false positives) or real code after a
+        // backslash-final raw string was swallowed (false negatives).
+        // This test is written against the public `scan_source` entry so
+        // it keeps guarding the behavior across scanner rewrites.
+        for text in [
+            "fn f() -> String { \"x.unwrap()\".into() }\n",
+            "fn f() -> String { r\"x.unwrap()\".into() }\n",
+            "fn f() -> &'static str { r#\"say \"hi\" then .unwrap()\"# }\n",
+            "fn f() -> &'static [u8] { br#\"eprintln!(\"boom\") and .unwrap()\"# }\n",
+        ] {
+            let report = scan_source("crates/x/src/lib.rs", text, "");
+            assert!(report.is_clean(), "false positive on {text:?}:\n{}", report.render());
+        }
+        // A backslash-final raw string must not desync the scanner into
+        // hiding the real violation on the same line.
+        let text = "fn f(&self) { let _p = r\"C:\\\"; self.0.unwrap(); }\n";
+        let report = scan_source("crates/x/src/lib.rs", text, "");
+        assert_eq!(report.diagnostics.len(), 1, "hidden violation:\n{}", report.render());
+        assert_eq!(report.diagnostics[0].rule, RULE_UNWRAP);
     }
 
     #[test]
