@@ -1,0 +1,7 @@
+//! Seeded rng-discipline violation: OS entropy in library code.
+
+/// Draws from the thread-local OS-entropy generator — not replayable.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

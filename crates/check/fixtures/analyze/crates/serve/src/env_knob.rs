@@ -1,0 +1,7 @@
+//! Seeded env-contract violation: a registered variable read without its
+//! strict parser in the same fn.
+
+/// Loose read — the registry demands `parse_bool_env` next to the read.
+pub fn checks_armed() -> bool {
+    std::env::var("AUTOAC_CHECK").is_ok()
+}

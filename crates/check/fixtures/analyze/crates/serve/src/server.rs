@@ -1,0 +1,17 @@
+//! Seeded analyze fixture: the serving entry points, with exactly one
+//! panic-reachability violation in a helper both of them reach.
+
+/// Fixture twin of the real connection handler.
+pub fn handle_connection(reqs: &[u32]) -> u32 {
+    decode_request(reqs)
+}
+
+/// Fixture twin of the real model thread.
+pub fn run_model_thread(reqs: &[u32]) -> u32 {
+    decode_request(reqs)
+}
+
+/// The seeded violation: this unwrap is reachable from both entry points.
+fn decode_request(reqs: &[u32]) -> u32 {
+    *reqs.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Seeded unsafe-audit violation: an unsafe block with no adjacent
+//! comment stating the invariant that makes it sound.
+
+/// Writes through a raw pointer without justifying why that is fine.
+pub fn set_first(v: &mut [f32]) {
+    let p = v.as_mut_ptr();
+    unsafe {
+        *p = 1.0;
+    }
+}

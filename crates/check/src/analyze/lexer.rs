@@ -1,0 +1,407 @@
+//! A hand-rolled token-level lexer for Rust source text.
+//!
+//! This is the foundation the whole static-analysis layer stands on: every
+//! rule — migrated lint rules and the whole-program analyses alike —
+//! matches against typed tokens instead of regexes over stripped lines, so
+//! string literals, comments, lifetimes, and char literals can never be
+//! confused with code again.
+//!
+//! Design constraints:
+//!
+//! - **Total**: lexing never fails. Malformed input (unterminated strings,
+//!   stray bytes) degrades into best-effort tokens; analyses stay
+//!   conservative rather than crashing on a file mid-edit.
+//! - **Lossless**: concatenating every token's text reproduces the input
+//!   byte-for-byte (property-tested in `tests/lexer_roundtrip.rs`). This
+//!   is what makes line/column reporting and marker lookups trustworthy.
+//! - **Faithful on the hard cases**: raw strings with any `#` count,
+//!   raw byte strings, nested block comments, escape sequences in
+//!   char/byte/string literals, lifetimes vs char literals, and
+//!   maximal-munch identifiers (`foor"x"` is an ident then a string).
+//!
+//! The lexer does not classify keywords (callers compare ident text) and
+//! emits each punctuation byte as its own token — multi-byte operators are
+//! irrelevant to every analysis built on top, and single-byte puncts keep
+//! the round-trip property trivially honest.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to (not including) the newline. Doc comments included.
+    LineComment,
+    /// `/* … */`, nested; unterminated runs to end of input.
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes; unterminated runs to end of input.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br"…"`, … — no escapes; closes on the
+    /// hash-matched terminator; unterminated runs to end of input.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`, `'\u{1F600}'`.
+    CharLit,
+    /// `'a`, `'_`, `'static` — a tick followed by an identifier with no
+    /// closing tick.
+    Lifetime,
+    /// Identifier or keyword: `[A-Za-z_][A-Za-z0-9_]*` (plus `r#ident`
+    /// raw identifiers, emitted as one token).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A single punctuation/operator byte: `{`, `}`, `(`, `.`, `!`, ….
+    Punct,
+}
+
+/// One token: classification, exact source text, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// What this token is.
+    pub kind: TokKind,
+    /// The exact slice of the input this token covers.
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// True for tokens that carry no code meaning (whitespace, comments).
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+
+    /// True when this token is exactly the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length of the raw-string literal starting at `i` (which must point at
+/// the `r` / `b` prefix), or `None` if `i` does not start one. The length
+/// runs to the hash-matched closing quote, or to end of input when
+/// unterminated.
+fn raw_string_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j >= bytes.len() || bytes[j] != b'r' {
+            return None;
+        }
+    }
+    debug_assert_eq!(bytes[j], b'r');
+    j += 1;
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let have = bytes[j + 1..].iter().take_while(|&&b| b == b'#').count();
+            if have >= hashes {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Length of the string literal starting at the opening quote at `i`
+/// (escape-aware); runs to end of input when unterminated.
+fn string_end(bytes: &[u8], i: usize) -> usize {
+    debug_assert_eq!(bytes[i], b'"');
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(bytes.len()),
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Decides whether the `'` at `i` opens a char literal or a lifetime, and
+/// returns `(kind, end)`. Lifetime: tick + ident with no closing tick
+/// right after the ident (`'a`, `'static`, `'_`). Everything else is
+/// lexed as a char literal: escape form `'\…'`, or an arbitrary (possibly
+/// multi-byte) char followed by `'`.
+fn char_or_lifetime(bytes: &[u8], i: usize) -> (TokKind, usize) {
+    debug_assert_eq!(bytes[i], b'\'');
+    let rest = &bytes[i + 1..];
+    if rest.is_empty() {
+        return (TokKind::CharLit, bytes.len()); // lone trailing tick
+    }
+    if rest[0] == b'\\' {
+        // Escape sequence: consume to the closing tick (handles \', \u{…}).
+        let mut j = i + 2;
+        let mut escaped = true;
+        while j < bytes.len() {
+            if escaped {
+                escaped = false;
+            } else if bytes[j] == b'\\' {
+                escaped = true;
+            } else if bytes[j] == b'\'' {
+                return (TokKind::CharLit, j + 1);
+            }
+            j += 1;
+        }
+        return (TokKind::CharLit, bytes.len());
+    }
+    if is_ident_start(rest[0]) {
+        // Could be 'a' (char) or 'a / 'abc (lifetime): scan the ident run
+        // and check for a closing tick immediately after.
+        let mut j = 1;
+        while j < rest.len() && is_ident_continue(rest[j]) {
+            j += 1;
+        }
+        if j < rest.len() && rest[j] == b'\'' && j == 1 {
+            return (TokKind::CharLit, i + 1 + j + 1); // 'x'
+        }
+        return (TokKind::Lifetime, i + 1 + j);
+    }
+    // Non-ident char: find the closing tick within the next char (which
+    // may be multi-byte UTF-8) — scan forward a short bounded window.
+    let limit = rest.len().min(5); // max UTF-8 char (4) + closing tick
+    for j in 1..=limit {
+        if j < rest.len() && rest[j] == b'\'' {
+            return (TokKind::CharLit, i + 1 + j + 1);
+        }
+    }
+    // No closing tick nearby (e.g. a stray tick): emit the tick alone as
+    // punctuation so the rest of the input still lexes.
+    (TokKind::Punct, i + 1)
+}
+
+/// Lexes `src` into a lossless token stream. Total: any input produces
+/// tokens whose concatenated text equals `src`.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let start = i;
+        let start_line = line;
+        let b = bytes[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            TokKind::Whitespace
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            TokKind::LineComment
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            TokKind::BlockComment
+        } else if (b == b'r' || b == b'b') && raw_string_end(bytes, i).is_some() {
+            // Raw or raw-byte string. `raw_string_end` only fires when the
+            // prefix really is followed by `#*"`; identifiers like `rows`
+            // fall through to the ident arm below.
+            let end = raw_string_end(bytes, i).unwrap_or(bytes.len());
+            line += count_newlines(&bytes[i..end]);
+            i = end;
+            TokKind::RawStr
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+            let end = string_end(bytes, i + 1);
+            line += count_newlines(&bytes[i..end]);
+            i = end;
+            TokKind::Str
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+            let (_, end) = char_or_lifetime(bytes, i + 1);
+            line += count_newlines(&bytes[i..end]);
+            i = end;
+            TokKind::CharLit
+        } else if b == b'r' && bytes.get(i + 1) == Some(&b'#') && bytes.get(i + 2).is_some_and(|&c| is_ident_start(c)) {
+            // Raw identifier `r#ident` (raw strings were handled above, so
+            // `r#"` never reaches here).
+            i += 2;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if is_ident_start(b) {
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if b.is_ascii_digit() {
+            // Integer/float with optional base prefix, `_` separators,
+            // suffix, exponent digits. `0..5` must lex as number `0` then
+            // two dots: only consume a `.` when a digit follows it.
+            i += 1;
+            while i < bytes.len() {
+                let c = bytes[i];
+                if is_ident_continue(c) {
+                    i += 1;
+                } else if c == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    && !bytes[start..i].contains(&b'.')
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            TokKind::Number
+        } else if b == b'"' {
+            let end = string_end(bytes, i);
+            line += count_newlines(&bytes[i..end]);
+            i = end;
+            TokKind::Str
+        } else if b == b'\'' {
+            let (kind, end) = char_or_lifetime(bytes, i);
+            line += count_newlines(&bytes[i..end]);
+            i = end;
+            kind
+        } else {
+            // One punctuation byte — but never split a multi-byte UTF-8
+            // char (only reachable inside doc text that escaped comment
+            // forms; keep the slice boundary valid regardless).
+            let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+            i += ch_len;
+            TokKind::Punct
+        };
+        toks.push(Tok { kind, text: &src[start..i], line: start_line });
+    }
+    toks
+}
+
+fn count_newlines(bytes: &[u8]) -> u32 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(joined, src, "lossless round-trip");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_backslashes() {
+        roundtrip(r####"let a = r"x\"; let b = r#"say "hi" .unwrap()"# ;"####);
+        let toks = kinds(r####"r#"say "hi""# + r"tail\""####);
+        assert_eq!(toks[0], (TokKind::RawStr, r####"r#"say "hi""#"####));
+        assert_eq!(toks[4], (TokKind::RawStr, r####"r"tail\""####));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let toks = kinds(r##"b"bytes" br#"raw"# b'x' b'\n'"##);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[2], (TokKind::RawStr, r##"br#"raw"#"##));
+        assert_eq!(toks[4], (TokKind::CharLit, "b'x'"));
+        assert_eq!(toks[6], (TokKind::CharLit, r"b'\n'"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(toks[2], (TokKind::BlockComment, "/* x /* y */ z */"));
+        assert_eq!(toks[4], (TokKind::Ident, "b"));
+        roundtrip("/* unterminated /* nested */ still open");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("<'a, 'static> '_ 'x' '\\'' '}'");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| *t).collect();
+        assert_eq!(lifetimes, ["'a", "'static", "'_"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).map(|(_, t)| *t).collect();
+        assert_eq!(chars, ["'x'", "'\\''", "'}'"]);
+    }
+
+    #[test]
+    fn maximal_munch_identifiers_shadow_literal_prefixes() {
+        // `foor"x"` is ident `foor` then a string, `rows` stays one ident,
+        // `r#raw_ident` is a raw identifier.
+        let toks = kinds("foor\"x\" rows r#fn");
+        assert_eq!(toks[0], (TokKind::Ident, "foor"));
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[3], (TokKind::Ident, "rows"));
+        assert_eq!(toks[5], (TokKind::Ident, "r#fn"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks: Vec<_> = kinds("0..5 1.5 0x1f 1_000 1e9")
+            .into_iter()
+            .filter(|(k, _)| *k != TokKind::Whitespace)
+            .collect();
+        assert_eq!(toks[0], (TokKind::Number, "0"));
+        assert_eq!(toks[1], (TokKind::Punct, "."));
+        assert_eq!(toks[2], (TokKind::Punct, "."));
+        assert_eq!(toks[3], (TokKind::Number, "5"));
+        assert_eq!(toks[4], (TokKind::Number, "1.5"));
+        assert_eq!(toks[5], (TokKind::Number, "0x1f"));
+        assert_eq!(toks[6], (TokKind::Number, "1_000"));
+        assert_eq!(toks[7], (TokKind::Number, "1e9"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\nacross\" c";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 4);
+        let c = toks.iter().find(|t| t.is_ident("c")).expect("c");
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        for src in ["'", "\"never closed", "r#\"open", "/*", "\u{1F600}é'", "b"] {
+            roundtrip(src);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Whole-workspace static analysis: token-level lexing, a brace-matched
+//! item tree, an approximate call graph, and four program-wide contract
+//! analyses (panic-reachability on the serving path, env-var contracts,
+//! RNG-stream discipline, unsafe/SAFETY audit).
+//!
+//! Layering:
+//!
+//! - [`lexer`] — total, lossless tokenizer for Rust source. Every input
+//!   lexes; token texts concatenate back to the input byte-for-byte.
+//! - [`source`] — per-file structure over the token stream: fn defs with
+//!   body ranges, impl/trait method contexts, `#[cfg(test)]` regions,
+//!   loop regions, `unsafe` sites, and the allow-marker index.
+//! - [`workspace`] — loads every crate in the workspace into
+//!   [`source::SourceFile`]s and builds the approximate call graph
+//!   (defs × classified call sites, unique-name resolution, explicit
+//!   ambiguity reporting).
+//! - [`rules`] — the four whole-program analyses plus the migrated
+//!   single-file lint rules, all emitting [`crate::diag::Diagnostic`]s.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;

@@ -1,0 +1,558 @@
+//! Workspace loading and the approximate call graph.
+//!
+//! The graph is *name-based*: fn definitions come from the item tree, and
+//! call sites are classified by their token shape —
+//!
+//! - `.name(`            → method call, resolved among method defs;
+//! - `Type::name(`       → qualified call, resolved against the impl
+//!   self-type (with `Self` mapped to the caller's own impl type);
+//! - `modname::name(`    → module-qualified free call, resolved by file
+//!   stem or inline-module name;
+//! - `name(`             → bare free call, same-crate defs preferred.
+//!
+//! When several defs share a name and the qualifier does not narrow them
+//! to one, the call is recorded as *ambiguous* rather than guessed at.
+//! Ambiguity acts as a natural truncation point (e.g. every model's
+//! `forward`), and the analyzer reports ambiguous names it hit from
+//! reachable code so the blind spots are explicit instead of silent.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fs;
+use std::path::Path;
+
+use super::source::{FileKind, SourceFile};
+
+/// Stable id of a function definition: `(file index, fn index)`.
+pub type FnId = (usize, usize);
+
+/// How a call site is qualified, with the final path segment as `name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `.name(` — a method call on some receiver.
+    Method,
+    /// `Qual::name(` — qualified; payload is the last qualifier segment.
+    Qualified(String),
+    /// `name(` — an unqualified call.
+    Bare,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Final path segment being called.
+    pub name: String,
+    /// Qualification shape.
+    pub kind: CallKind,
+    /// Token index of the name ident in the containing file.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Outcome of resolving one call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Exactly one workspace def matches.
+    Unique(FnId),
+    /// No workspace def matches (std / vendored / trait object).
+    External,
+    /// More than one def matches and the qualifier can't pick one.
+    Ambiguous(usize),
+}
+
+/// Method names that shadow std-prelude/primitive methods. A `.name(`
+/// call with one of these names is never resolved by the unique-name
+/// heuristic — the receiver is overwhelmingly likely to be a std type
+/// (`str::parse`, `Option::take`, `Vec::push`, …), so a lone workspace
+/// def with the same name would create a false edge into unrelated code.
+const STD_SHADOWED_METHODS: &[&str] = &[
+    "parse", "clone", "cloned", "collect", "insert", "remove", "get", "push", "pop", "len",
+    "iter", "into_iter", "next", "map", "filter", "find", "write", "read", "flush", "join",
+    "send", "recv", "lock", "take", "sort", "extend", "contains", "starts_with", "ends_with",
+    "split", "trim", "to_string", "into", "from", "clear", "drain", "last", "first", "count",
+    "min", "max", "sum", "abs", "floor", "ceil", "sqrt", "exp", "ln", "powi", "powf",
+    "load", "store", "swap", "wait", "notify_one", "notify_all",
+];
+
+/// The loaded workspace: files, fn defs, and the resolved call graph.
+pub struct Workspace {
+    /// Every analyzed file.
+    pub files: Vec<SourceFile>,
+    /// Call sites per fn def, parallel to `files[f].fns`.
+    pub calls: HashMap<FnId, Vec<(CallSite, Resolution)>>,
+    /// Total call sites seen.
+    pub call_sites: usize,
+    /// Call sites resolved to a unique workspace def.
+    pub resolved_edges: usize,
+    /// Whether the root had README.md and DESIGN.md (doc cross-refs are
+    /// only enforced when both exist, so fixture roots stay quiet).
+    pub has_docs: bool,
+    /// README.md + DESIGN.md text when present.
+    pub docs_text: String,
+    /// Transitive `autoac-*` dependency closure per crate dir name, from
+    /// the crates' Cargo.toml files. Call edges may only point into a
+    /// caller's closure — a def in a crate the caller cannot even link
+    /// against is never a resolution candidate.
+    pub dep_closure: HashMap<String, BTreeSet<String>>,
+}
+
+impl Workspace {
+    /// Loads `root` — every `crates/*/{src,tests,benches}` tree plus the
+    /// root package's `src/` and `tests/` — and builds the call graph.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<_> = match fs::read_dir(&crates_dir) {
+            Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
+            Err(_) => Vec::new(),
+        };
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let krate = dir.file_name().unwrap_or_default().to_string_lossy().to_string();
+            load_package(root, &dir, &krate, &mut files)?;
+        }
+        // The root package (integration driver).
+        if root.join("src").is_dir() || root.join("tests").is_dir() {
+            load_package(root, root, "autoac", &mut files)?;
+        }
+
+        let mut docs_text = String::new();
+        let mut has_docs = true;
+        for doc in ["README.md", "DESIGN.md"] {
+            match fs::read_to_string(root.join(doc)) {
+                Ok(t) => docs_text.push_str(&t),
+                Err(_) => has_docs = false,
+            }
+        }
+
+        let mut ws = Workspace {
+            files,
+            calls: HashMap::new(),
+            call_sites: 0,
+            resolved_edges: 0,
+            has_docs,
+            docs_text,
+            dep_closure: load_dep_closure(root),
+        };
+        ws.build_call_graph();
+        Ok(ws)
+    }
+
+    /// All fn defs as `(FnId, &FnDef)` in deterministic order.
+    pub fn fn_defs(&self) -> impl Iterator<Item = (FnId, &super::source::FnDef)> {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| f.fns.iter().enumerate().map(move |(di, d)| ((fi, di), d)))
+    }
+
+    /// BFS over resolved edges from `entries`; returns the reachable set
+    /// (including the entries themselves).
+    pub fn reachable(&self, entries: &[FnId]) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = entries.iter().copied().collect();
+        let mut queue: VecDeque<FnId> = entries.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            if let Some(calls) = self.calls.get(&id) {
+                for (_, res) in calls {
+                    if let Resolution::Unique(next) = res {
+                        if seen.insert(*next) {
+                            queue.push_back(*next);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Ambiguous call names reached from `reachable` fns, with candidate
+    /// counts — the analyzer's explicit blind-spot report.
+    pub fn ambiguous_from(&self, reachable: &BTreeSet<FnId>) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for id in reachable {
+            if let Some(calls) = self.calls.get(id) {
+                for (site, res) in calls {
+                    if let Resolution::Ambiguous(n) = res {
+                        out.insert(site.name.clone(), *n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn build_call_graph(&mut self) {
+        // Def indices. Only Lib files define call-graph nodes; bins,
+        // tests, and benches consume the graph but nothing dispatches
+        // back into them.
+        let mut methods: HashMap<&str, Vec<FnId>> = HashMap::new();
+        let mut typed: HashMap<(&str, &str), Vec<FnId>> = HashMap::new();
+        let mut free: HashMap<&str, Vec<FnId>> = HashMap::new();
+        let mut free_in_crate: HashMap<(&str, &str), Vec<FnId>> = HashMap::new();
+        let mut by_mod: HashMap<(&str, &str), Vec<FnId>> = HashMap::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            if file.file_kind != FileKind::Lib {
+                continue;
+            }
+            let stem = file_stem(&file.rel);
+            for (di, def) in file.fns.iter().enumerate() {
+                if def.in_test {
+                    continue;
+                }
+                let id = (fi, di);
+                match &def.impl_type {
+                    Some(ty) => {
+                        methods.entry(&def.name).or_default().push(id);
+                        typed.entry((ty, &def.name)).or_default().push(id);
+                    }
+                    None => {
+                        free.entry(&def.name).or_default().push(id);
+                        free_in_crate.entry((&file.krate, &def.name)).or_default().push(id);
+                        by_mod.entry((stem, &def.name)).or_default().push(id);
+                        for m in &def.mods {
+                            by_mod.entry((m, &def.name)).or_default().push(id);
+                        }
+                    }
+                }
+            }
+        }
+
+        let empty = BTreeSet::new();
+        let files = &self.files;
+        let dep_closure = &self.dep_closure;
+        // Candidates outside the caller's dependency closure are dropped
+        // before the uniqueness decision: a def the caller cannot link
+        // against must neither resolve the call nor make it ambiguous.
+        let pick = |caller: &str, v: Option<&Vec<FnId>>| -> Option<Resolution> {
+            let closure = dep_closure.get(caller).unwrap_or(&empty);
+            let ids: Vec<FnId> = v?
+                .iter()
+                .copied()
+                .filter(|&(fi, _)| {
+                    let k = files[fi].krate.as_str();
+                    k == caller || closure.contains(k)
+                })
+                .collect();
+            match ids.len() {
+                1 => Some(Resolution::Unique(ids[0])),
+                0 => None,
+                n => Some(Resolution::Ambiguous(n)),
+            }
+        };
+
+        let mut calls: HashMap<FnId, Vec<(CallSite, Resolution)>> = HashMap::new();
+        let mut n_sites = 0usize;
+        let mut n_edges = 0usize;
+        for (fi, file) in self.files.iter().enumerate() {
+            for (di, def) in file.fns.iter().enumerate() {
+                let sites = collect_call_sites(file, def.body);
+                let mut resolved = Vec::with_capacity(sites.len());
+                for site in sites {
+                    n_sites += 1;
+                    let name = site.name.as_str();
+                    let caller = file.krate.as_str();
+                    let res = match &site.kind {
+                        CallKind::Method if STD_SHADOWED_METHODS.contains(&name) => None,
+                        CallKind::Method => pick(caller, methods.get(name)),
+                        CallKind::Qualified(q) => {
+                            let q = if q == "Self" {
+                                def.impl_type.as_deref().unwrap_or("Self")
+                            } else {
+                                q.as_str()
+                            };
+                            if q.starts_with(|c: char| c.is_ascii_uppercase()) {
+                                pick(caller, typed.get(&(q, name)))
+                            } else {
+                                pick(caller, by_mod.get(&(q, name)))
+                                    .or_else(|| pick(caller, free.get(name)))
+                            }
+                        }
+                        CallKind::Bare => pick(caller, free_in_crate.get(&(caller, name)))
+                            .or_else(|| pick(caller, free.get(name))),
+                    }
+                    .unwrap_or(Resolution::External);
+                    if matches!(res, Resolution::Unique(_)) {
+                        n_edges += 1;
+                    }
+                    resolved.push((site, res));
+                }
+                calls.insert((fi, di), resolved);
+            }
+        }
+        self.calls = calls;
+        self.call_sites = n_sites;
+        self.resolved_edges = n_edges;
+    }
+}
+
+/// Words that look like `word(` in source without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "let", "else",
+    "unsafe", "where", "impl", "dyn", "ref", "mut", "box", "await",
+];
+
+/// Extracts classified call sites from a fn body token range.
+pub fn collect_call_sites(file: &SourceFile, body: (usize, usize)) -> Vec<CallSite> {
+    let (a, b) = body;
+    let mut out = Vec::new();
+    if b <= a {
+        return out;
+    }
+    for i in a..=b.min(file.toks.len().saturating_sub(1)) {
+        if file.toks[i].kind != super::lexer::TokKind::Ident {
+            continue;
+        }
+        let name = file.tok_text(i);
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // The next code token must open the argument list.
+        let Some(n) = file.next_code(i) else { continue };
+        if !file.is_punct(n, '(') {
+            continue;
+        }
+        let Some(p) = file.prev_code(i) else { continue };
+        if file.is_ident(p, "fn") {
+            continue; // definition, not a call
+        }
+        let kind = if file.is_punct(p, '.') {
+            CallKind::Method
+        } else if file.is_punct(p, ':') && file.prev_code(p).is_some_and(|pp| file.is_punct(pp, ':'))
+        {
+            // Walk back over `::` to the qualifier's last segment.
+            let qual = file
+                .prev_code(p)
+                .and_then(|pp| file.prev_code(pp))
+                .filter(|&q| file.toks[q].kind == super::lexer::TokKind::Ident)
+                .map(|q| file.tok_text(q).to_string());
+            match qual {
+                Some(q) => CallKind::Qualified(q),
+                None => CallKind::Bare, // `<T as Trait>::call(` etc.
+            }
+        } else {
+            CallKind::Bare
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            kind,
+            tok: i,
+            line: file.toks[i].line,
+        });
+    }
+    out
+}
+
+/// Loads one package's `src/`, `src/bin/`, `tests/`, `benches/` trees.
+fn load_package(
+    root: &Path,
+    pkg: &Path,
+    krate: &str,
+    files: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    let trees: [(&str, FileKind); 3] =
+        [("src", FileKind::Lib), ("tests", FileKind::Test), ("benches", FileKind::Bench)];
+    for (sub, kind) in trees {
+        let dir = pkg.join(sub);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rs(&dir, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let kind = if kind == FileKind::Lib && rel.contains("/src/bin/") {
+                FileKind::Bin
+            } else {
+                kind
+            };
+            let text = fs::read_to_string(&path)?;
+            files.push(SourceFile::parse(&rel, krate, kind, text));
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// File stem of a repo-relative path (`crates/serve/src/http.rs` → `http`).
+pub fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/').next().unwrap_or(rel).trim_end_matches(".rs")
+}
+
+/// Direct `autoac-*` dependencies named in one Cargo.toml's
+/// `[dependencies]` table (both `autoac-x.workspace = true` and
+/// `autoac-x = { … }` spellings).
+fn direct_deps(manifest: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("autoac-") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                deps.push(name);
+            }
+        }
+    }
+    deps
+}
+
+/// Transitive dependency closure per crate dir name, read from
+/// `crates/*/Cargo.toml` plus the root package manifest (`autoac`).
+/// Trees without manifests (fixture roots) get an empty map, which
+/// restricts call resolution to same-crate defs.
+fn load_dep_closure(root: &Path) -> HashMap<String, BTreeSet<String>> {
+    let mut direct: HashMap<String, Vec<String>> = HashMap::new();
+    if let Ok(rd) = fs::read_dir(root.join("crates")) {
+        for entry in rd.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if let Ok(manifest) = fs::read_to_string(entry.path().join("Cargo.toml")) {
+                direct.insert(name, direct_deps(&manifest));
+            }
+        }
+    }
+    if let Ok(manifest) = fs::read_to_string(root.join("Cargo.toml")) {
+        direct.insert("autoac".into(), direct_deps(&manifest));
+    }
+    let mut closure = HashMap::new();
+    for krate in direct.keys() {
+        let mut seen = BTreeSet::new();
+        let mut queue: Vec<&str> = direct[krate].iter().map(String::as_str).collect();
+        while let Some(dep) = queue.pop() {
+            if seen.insert(dep.to_string()) {
+                if let Some(next) = direct.get(dep) {
+                    queue.extend(next.iter().map(String::as_str));
+                }
+            }
+        }
+        closure.insert(krate.clone(), seen);
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::source::FileKind;
+
+    fn ws_from(specs: &[(&str, &str, FileKind, &str)]) -> Workspace {
+        let files = specs
+            .iter()
+            .map(|(rel, krate, kind, text)| SourceFile::parse(rel, krate, *kind, text.to_string()))
+            .collect();
+        let mut ws = Workspace {
+            files,
+            calls: HashMap::new(),
+            call_sites: 0,
+            resolved_edges: 0,
+            has_docs: false,
+            docs_text: String::new(),
+            dep_closure: HashMap::new(),
+        };
+        ws.build_call_graph();
+        ws
+    }
+
+    #[test]
+    fn method_and_qualified_calls_resolve_uniquely() {
+        let ws = ws_from(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                FileKind::Lib,
+                "pub struct Foo;\nimpl Foo { pub fn only_method(&self) {} }\npub fn entry(f: &Foo) { f.only_method(); Foo::only_method(f); helper(); }\npub fn helper() {}\n",
+            ),
+        ]);
+        let entry = ws.fn_defs().find(|(_, d)| d.name == "entry").unwrap().0;
+        let reached = ws.reachable(&[entry]);
+        let names: Vec<&str> = reached
+            .iter()
+            .map(|&(fi, di)| ws.files[fi].fns[di].name.as_str())
+            .collect();
+        assert!(names.contains(&"only_method"), "{names:?}");
+        assert!(names.contains(&"helper"), "{names:?}");
+    }
+
+    #[test]
+    fn colliding_free_fn_and_method_resolve_by_call_shape() {
+        // `attrs` exists both as a free fn and a method (the real repo's
+        // serve::server::attrs vs InferenceModel::attrs) — the call shape
+        // must keep them apart.
+        let ws = ws_from(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                FileKind::Lib,
+                "pub struct M;\nimpl M { pub fn attrs(&self) { deep_method(); } }\nfn deep_method() {}\npub fn attrs() { deep_free(); }\nfn deep_free() {}\npub fn entry(m: &M) { attrs(); m.attrs(); }\n",
+            ),
+        ]);
+        let entry = ws.fn_defs().find(|(_, d)| d.name == "entry").unwrap().0;
+        let reached = ws.reachable(&[entry]);
+        let names: Vec<&str> = reached
+            .iter()
+            .map(|&(fi, di)| ws.files[fi].fns[di].name.as_str())
+            .collect();
+        assert!(names.contains(&"deep_free"), "{names:?}");
+        assert!(names.contains(&"deep_method"), "{names:?}");
+    }
+
+    #[test]
+    fn ambiguous_methods_are_reported_not_guessed() {
+        let ws = ws_from(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                FileKind::Lib,
+                "pub struct A;\npub struct B;\nimpl A { pub fn forward(&self) {} }\nimpl B { pub fn forward(&self) {} }\npub fn entry(x: &A) { x.forward(); }\n",
+            ),
+        ]);
+        let entry = ws.fn_defs().find(|(_, d)| d.name == "entry").unwrap().0;
+        let reached = ws.reachable(&[entry]);
+        let amb = ws.ambiguous_from(&reached);
+        assert_eq!(amb.get("forward"), Some(&2));
+        // Neither forward impl gets pulled in.
+        assert_eq!(reached.len(), 1);
+    }
+
+    #[test]
+    fn test_mod_fns_do_not_define_graph_nodes() {
+        let ws = ws_from(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            FileKind::Lib,
+            "pub fn entry() { helper(); }\n#[cfg(test)]\nmod tests {\n    pub fn helper() { super::entry(); }\n}\npub fn helper() {}\n",
+        )]);
+        let entry = ws.fn_defs().find(|(_, d)| d.name == "entry").unwrap().0;
+        let reached = ws.reachable(&[entry]);
+        let helpers: Vec<bool> = reached
+            .iter()
+            .map(|&(fi, di)| ws.files[fi].fns[di].in_test)
+            .collect();
+        assert!(helpers.iter().all(|t| !t), "test-mod helper must not be a node");
+    }
+}

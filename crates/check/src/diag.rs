@@ -20,6 +20,14 @@ pub enum Analysis {
     Race,
     /// Hand-rolled source lint.
     Lint,
+    /// Panic-reachability over the serving-path call graph.
+    Panic,
+    /// `AUTOAC_*` environment-variable contract.
+    Env,
+    /// RNG-stream discipline (sanctioned constructors only).
+    Rng,
+    /// `unsafe` audit (adjacent SAFETY comments).
+    Unsafe,
 }
 
 impl Analysis {
@@ -30,6 +38,10 @@ impl Analysis {
             Analysis::Pool => "pool",
             Analysis::Race => "race",
             Analysis::Lint => "lint",
+            Analysis::Panic => "panic",
+            Analysis::Env => "env",
+            Analysis::Rng => "rng",
+            Analysis::Unsafe => "unsafe",
         }
     }
 }
@@ -127,13 +139,17 @@ impl Report {
     pub fn json_summary(&self) -> String {
         let count = |a: Analysis| self.by_analysis(a).count();
         format!(
-            "{{\"inspected\":{},\"violations\":{},\"tape\":{},\"pool\":{},\"race\":{},\"lint\":{}}}",
+            "{{\"inspected\":{},\"violations\":{},\"tape\":{},\"pool\":{},\"race\":{},\"lint\":{},\"panic\":{},\"env\":{},\"rng\":{},\"unsafe\":{}}}",
             self.inspected,
             self.diagnostics.len(),
             count(Analysis::Tape),
             count(Analysis::Pool),
             count(Analysis::Race),
             count(Analysis::Lint),
+            count(Analysis::Panic),
+            count(Analysis::Env),
+            count(Analysis::Rng),
+            count(Analysis::Unsafe),
         )
     }
 }
@@ -147,7 +163,10 @@ mod tests {
         let mut r = Report::new();
         r.inspected = 3;
         assert!(r.is_clean());
-        assert_eq!(r.json_summary(), "{\"inspected\":3,\"violations\":0,\"tape\":0,\"pool\":0,\"race\":0,\"lint\":0}");
+        assert_eq!(
+            r.json_summary(),
+            "{\"inspected\":3,\"violations\":0,\"tape\":0,\"pool\":0,\"race\":0,\"lint\":0,\"panic\":0,\"env\":0,\"rng\":0,\"unsafe\":0}"
+        );
         r.push(Diagnostic {
             analysis: Analysis::Tape,
             rule: "shape-mismatch",

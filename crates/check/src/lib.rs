@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod diag;
 pub mod lint;
 pub mod tape;

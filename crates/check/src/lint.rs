@@ -1,7 +1,10 @@
-//! Hand-rolled source lint enforcing project invariants over the crates'
-//! source text (no rustc plumbing, no third-party parsers — a line-level
-//! scanner with just enough state to track strings, comments, `#[cfg(test)]`
-//! modules, and loop nesting).
+//! Source lint enforcing project invariants over the crates' library
+//! sources. Since the `analyze` layer landed, every rule runs on the
+//! token stream ([`crate::analyze::lexer`]) and the brace-matched item
+//! tree ([`crate::analyze::source`]) — string literals, comments, and
+//! char literals can never leak patterns into the rules or desync the
+//! structure tracking, which was the documented limit of the old
+//! line-stripping scanner.
 //!
 //! Rules:
 //!
@@ -37,8 +40,11 @@
 //! comment) on the same or the preceding line; the allowlist is meant to be
 //! rare and always accompanied by a justification.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
+use crate::analyze::lexer::TokKind;
+use crate::analyze::source::{FileKind, SourceFile};
+use crate::analyze::workspace::Workspace;
 use crate::diag::{Analysis, Diagnostic, Report};
 
 /// Rule identifiers, shared between findings and `lint:allow(...)` markers.
@@ -49,130 +55,10 @@ const RULE_GRADCHECK: &str = "op-gradcheck-coverage";
 const RULE_EPRINTLN: &str = "eprintln-in-lib";
 const RULE_DISPATCH_PARITY: &str = "dispatch-parity-coverage";
 
-/// Marker spellings accepted in `lint:allow(...)` (underscores allowed so
-/// the marker reads naturally in code comments).
-fn allow_marker_matches(line: &str, rule: &str) -> bool {
-    let Some(idx) = line.find("lint:allow(") else { return false };
-    let rest = &line[idx + "lint:allow(".len()..];
-    let Some(end) = rest.find(')') else { return false };
-    let named = rest[..end].trim().replace('_', "-");
-    named == rule
-        || match (named.as_str(), rule) {
-            ("unwrap", RULE_UNWRAP) => true,
-            ("raw-alloc", RULE_RAW_ALLOC) => true,
-            ("instant", RULE_INSTANT) => true,
-            ("gradcheck", RULE_GRADCHECK) => true,
-            ("eprintln", RULE_EPRINTLN) => true,
-            ("dispatch-parity", RULE_DISPATCH_PARITY) => true,
-            _ => false,
-        }
-}
-
-/// Strips string/char literals and comments from one line, tracking
-/// multi-line block comments via `in_block_comment`. The goal is not full
-/// lexical fidelity — only that braces, keywords, and rule patterns inside
-/// literals or comments never reach the scanner.
-fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
-    let mut out = String::with_capacity(raw.len());
-    let bytes = raw.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            // Raw (and raw-byte) string literal: `r"…"`, `r#"…"#`,
-            // `br"…"` — backslashes are literal and `"` only closes when
-            // followed by the matching number of `#`s, so the ordinary
-            // string path below must never see one (an embedded `"` would
-            // leak the literal's tail into scanned code, and a trailing
-            // `\` would hide real code after the literal).
-            b'r' | b'b' if raw_string_len(bytes, i).is_some() => {
-                // Unterminated on this line (multi-line raw string):
-                // conservatively consume the rest of the line.
-                i += raw_string_len(bytes, i).expect("checked above");
-            }
-            b'"' => {
-                // Skip the string literal (escapes handled; raw strings in
-                // this codebase don't contain braces or rule patterns).
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            // Char literal like '}' or '\n' — skip it so the brace inside
-            // doesn't desync the depth counter. A lone lifetime tick ('a)
-            // has no closing quote within 3 bytes and falls through.
-            b'\'' if i + 2 < bytes.len()
-                && (bytes[i + 2] == b'\''
-                    || (bytes[i + 1] == b'\\' && i + 3 < bytes.len() && bytes[i + 3] == b'\'')) =>
-            {
-                i += if bytes[i + 1] == b'\\' { 4 } else { 3 };
-            }
-            c => {
-                out.push(c as char);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// If `bytes[i..]` starts a raw (or raw-byte) string literal — `r"…"`,
-/// `r#"…"#`, `br"…"`, … — returns the byte length to consume: the whole
-/// literal when it closes on this line, otherwise everything to the end of
-/// the line. `None` when `i` does not start a raw string (including when
-/// the `r` is the tail of a longer identifier like `var`).
-fn raw_string_len(bytes: &[u8], i: usize) -> Option<usize> {
-    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return None; // `foor"…"` is ident `foor` then an ordinary string
-    }
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    if j >= bytes.len() || bytes[j] != b'r' {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0;
-    while j < bytes.len() && bytes[j] == b'#' {
-        hashes += 1;
-        j += 1;
-    }
-    if j >= bytes.len() || bytes[j] != b'"' {
-        return None;
-    }
-    j += 1;
-    // Scan for `"` followed by `hashes` `#`s.
-    while j < bytes.len() {
-        if bytes[j] == b'"' && bytes[j + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes {
-            return Some(j + 1 + hashes - i);
-        }
-        j += 1;
-    }
-    Some(bytes.len() - i) // unterminated on this line
-}
-
 /// True when `needle` occurs in `text` delimited by non-identifier chars.
+/// Used for coverage checks against the gradcheck/parity harness *text*
+/// (a mention in a string or comment counts as coverage, by design — the
+/// harnesses name kernels inside `check("…")` calls).
 fn contains_word(text: &str, needle: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = text[start..].find(needle) {
@@ -196,169 +82,6 @@ fn contains_word(text: &str, needle: &str) -> bool {
     false
 }
 
-/// `pub fn name` at the start of a (stripped, trimmed) line, if any.
-/// `pub(crate) fn` is internal API and deliberately not matched.
-fn pub_fn_name(code: &str) -> Option<&str> {
-    let rest = code.trim_start().strip_prefix("pub fn ")?;
-    let end = rest
-        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    (end > 0).then(|| &rest[..end])
-}
-
-/// Per-file scan state.
-struct Scanner<'a> {
-    path_display: String,
-    is_hotpath: bool,
-    is_timing_scope: bool,
-    is_obs_crate: bool,
-    is_ops_file: bool,
-    gradcheck_text: &'a str,
-    /// Brace depth in stripped code.
-    depth: usize,
-    /// Depth *inside* an open `#[cfg(test)] mod`, when active.
-    test_region: Option<usize>,
-    pending_cfg_test: bool,
-    pending_test_mod: bool,
-    /// Depths at which loop bodies opened.
-    loop_depths: Vec<usize>,
-    pending_loop: bool,
-    in_block_comment: bool,
-    prev_raw: String,
-    report: Report,
-}
-
-impl Scanner<'_> {
-    fn allowed(&self, raw: &str, rule: &str) -> bool {
-        allow_marker_matches(raw, rule) || allow_marker_matches(&self.prev_raw, rule)
-    }
-
-    fn diag(&mut self, rule: &'static str, line_no: usize, message: String) {
-        self.report.push(Diagnostic {
-            analysis: Analysis::Lint,
-            rule,
-            message,
-            location: format!("{}:{}", self.path_display, line_no),
-        });
-    }
-
-    fn scan_line(&mut self, line_no: usize, raw: &str) {
-        let code = strip_line(raw, &mut self.in_block_comment);
-        let in_tests = self.test_region.is_some();
-
-        // Rule checks run against stripped code, outside test modules.
-        if !in_tests {
-            if code.contains(".unwrap()") && !self.allowed(raw, RULE_UNWRAP) {
-                self.diag(
-                    RULE_UNWRAP,
-                    line_no,
-                    "`.unwrap()` in library code; use `expect` with context or propagate".into(),
-                );
-            }
-            if self.is_hotpath
-                && code.contains("Matrix::from_vec(")
-                && !self.allowed(raw, RULE_RAW_ALLOC)
-            {
-                self.diag(
-                    RULE_RAW_ALLOC,
-                    line_no,
-                    "raw `Matrix::from_vec` allocation in a pooled hot path; \
-                     use `Matrix::from_slice`/`full`/`zeros` (pool-backed) instead"
-                        .into(),
-                );
-            }
-            if self.is_timing_scope
-                && !self.loop_depths.is_empty()
-                && code.contains("Instant::now")
-                && !self.allowed(raw, RULE_INSTANT)
-            {
-                self.diag(
-                    RULE_INSTANT,
-                    line_no,
-                    "`Instant::now` inside a kernel loop perturbs the code being measured; \
-                     hoist timing out of the loop (raw timing is sanctioned only inside \
-                     the obs span internals, crates/obs/src/span.rs)"
-                        .into(),
-                );
-            }
-            if !self.is_obs_crate
-                && code.contains("eprintln!")
-                && !self.allowed(raw, RULE_EPRINTLN)
-            {
-                self.diag(
-                    RULE_EPRINTLN,
-                    line_no,
-                    "bare `eprintln!` in library code; route it through `autoac_obs::warn` \
-                     so the message is also counted and exported"
-                        .into(),
-                );
-            }
-            if self.is_ops_file {
-                if let Some(name) = pub_fn_name(&code) {
-                    if !contains_word(self.gradcheck_text, name)
-                        && !self.allowed(raw, RULE_GRADCHECK)
-                    {
-                        self.diag(
-                            RULE_GRADCHECK,
-                            line_no,
-                            format!(
-                                "op `{name}` has no gradcheck coverage \
-                                 (crates/tensor/tests/gradcheck.rs never mentions it)"
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-
-        // Structure tracking (comments/strings already stripped).
-        if raw.contains("#[cfg(test)]") {
-            self.pending_cfg_test = true;
-        }
-        let trimmed = code.trim_start();
-        if self.pending_cfg_test
-            && (trimmed.starts_with("mod ") || trimmed.starts_with("pub mod "))
-        {
-            self.pending_test_mod = true;
-            self.pending_cfg_test = false;
-        } else if self.pending_cfg_test && trimmed.starts_with("fn ") {
-            // `#[cfg(test)] fn helper` — not a module; drop the flag.
-            self.pending_cfg_test = false;
-        }
-        if contains_word(&code, "for") || contains_word(&code, "while") || contains_word(&code, "loop")
-        {
-            self.pending_loop = true;
-        }
-        for c in code.chars() {
-            match c {
-                '{' => {
-                    self.depth += 1;
-                    if self.pending_test_mod {
-                        self.test_region.get_or_insert(self.depth);
-                        self.pending_test_mod = false;
-                    }
-                    if self.pending_loop {
-                        self.loop_depths.push(self.depth);
-                        self.pending_loop = false;
-                    }
-                }
-                '}' => {
-                    if self.loop_depths.last() == Some(&self.depth) {
-                        self.loop_depths.pop();
-                    }
-                    if self.test_region == Some(self.depth) {
-                        self.test_region = None;
-                    }
-                    self.depth = self.depth.saturating_sub(1);
-                }
-                ';' => self.pending_loop = false, // `for` in a doc path etc.
-                _ => {}
-            }
-        }
-        self.prev_raw = raw.to_string();
-    }
-}
-
 /// True for modules where every per-iteration allocation must recycle.
 fn is_hotpath(rel: &str) -> bool {
     rel.contains("crates/tensor/src/ops/")
@@ -367,62 +90,177 @@ fn is_hotpath(rel: &str) -> bool {
         || rel.ends_with("crates/tensor/src/sparse.rs")
 }
 
+/// Crate dir name from a repo-relative path (`crates/x/src/lib.rs` → `x`).
+fn krate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("autoac")
+}
+
 /// Scans one file's text and returns its findings. `rel` is the
 /// repo-relative path used for rule selection and locations.
 pub fn scan_source(rel: &str, text: &str, gradcheck_text: &str) -> Report {
-    let mut scanner = Scanner {
-        path_display: rel.to_string(),
-        is_hotpath: is_hotpath(rel),
-        is_timing_scope: rel.contains("crates/tensor/src/")
-            || (rel.contains("crates/obs/src/") && !rel.ends_with("span.rs")),
-        is_obs_crate: rel.contains("crates/obs/src/"),
-        is_ops_file: rel.contains("crates/tensor/src/ops/") && !rel.ends_with("mod.rs"),
-        gradcheck_text,
-        depth: 0,
-        test_region: None,
-        pending_cfg_test: false,
-        pending_test_mod: false,
-        loop_depths: Vec::new(),
-        pending_loop: false,
-        in_block_comment: false,
-        prev_raw: String::new(),
-        report: Report::new(),
+    let file = SourceFile::parse(rel, krate_of(rel), FileKind::Lib, text.to_string());
+    scan_file(&file, gradcheck_text)
+}
+
+/// Token-stream rule pass over one parsed library file.
+pub(crate) fn scan_file(file: &SourceFile, gradcheck_text: &str) -> Report {
+    let rel = &file.rel;
+    let hotpath = is_hotpath(rel);
+    let timing_scope = rel.contains("crates/tensor/src/")
+        || (rel.contains("crates/obs/src/") && !rel.ends_with("span.rs"));
+    let obs_crate = rel.contains("crates/obs/src/");
+    let ops_file = rel.contains("crates/tensor/src/ops/") && !rel.ends_with("mod.rs");
+
+    let mut report = Report::new();
+    let mut diag = |rule: &'static str, line: u32, message: String| {
+        report.push(Diagnostic {
+            analysis: Analysis::Lint,
+            rule,
+            message,
+            location: format!("{rel}:{line}"),
+        });
     };
-    for (i, raw) in text.lines().enumerate() {
-        scanner.scan_line(i + 1, raw);
+
+    for i in 0..file.toks.len() {
+        if file.toks[i].kind != TokKind::Ident || file.in_test_region(i) {
+            continue;
+        }
+        let line = file.toks[i].line;
+        let allowed = |rule: &str| file.allow_for("lint", rule, line).is_some();
+        match file.tok_text(i) {
+            "unwrap" => {
+                let method_call = file.prev_code(i).is_some_and(|p| file.is_punct(p, '.'))
+                    && file.next_code(i).is_some_and(|n| file.is_punct(n, '('));
+                if method_call && !allowed(RULE_UNWRAP) {
+                    diag(
+                        RULE_UNWRAP,
+                        line,
+                        "`.unwrap()` in library code; use `expect` with context or propagate"
+                            .into(),
+                    );
+                }
+            }
+            "Matrix" if hotpath => {
+                if qualified_by(file, i, "from_vec")
+                    && !allowed(RULE_RAW_ALLOC)
+                {
+                    diag(
+                        RULE_RAW_ALLOC,
+                        line,
+                        "raw `Matrix::from_vec` allocation in a pooled hot path; \
+                         use `Matrix::from_slice`/`full`/`zeros` (pool-backed) instead"
+                            .into(),
+                    );
+                }
+            }
+            "Instant" if timing_scope => {
+                if qualified_by(file, i, "now") && file.in_loop(i) && !allowed(RULE_INSTANT) {
+                    diag(
+                        RULE_INSTANT,
+                        line,
+                        "`Instant::now` inside a kernel loop perturbs the code being measured; \
+                         hoist timing out of the loop (raw timing is sanctioned only inside \
+                         the obs span internals, crates/obs/src/span.rs)"
+                            .into(),
+                    );
+                }
+            }
+            "eprintln" if !obs_crate => {
+                if file.next_code(i).is_some_and(|n| file.is_punct(n, '!'))
+                    && !allowed(RULE_EPRINTLN)
+                {
+                    diag(
+                        RULE_EPRINTLN,
+                        line,
+                        "bare `eprintln!` in library code; route it through `autoac_obs::warn` \
+                         so the message is also counted and exported"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
     }
-    scanner.report.inspected = 1;
-    scanner.report
+
+    if ops_file {
+        for def in &file.fns {
+            if !def.is_pub || def.in_test || contains_word(gradcheck_text, &def.name) {
+                continue;
+            }
+            if file.allow_for("lint", RULE_GRADCHECK, def.line).is_some() {
+                continue;
+            }
+            diag(
+                RULE_GRADCHECK,
+                def.line,
+                format!(
+                    "op `{}` has no gradcheck coverage \
+                     (crates/tensor/tests/gradcheck.rs never mentions it)",
+                    def.name
+                ),
+            );
+        }
+    }
+
+    report.inspected = 1;
+    report
+}
+
+/// True when ident token `i` starts the path `Name::member(` for the given
+/// member (the `(` is not required — `Instant::now` may be passed as a
+/// fn pointer, and the old scanner matched it bare as well).
+fn qualified_by(file: &SourceFile, i: usize, member: &str) -> bool {
+    let Some(c1) = file.next_code(i) else { return false };
+    if !file.is_punct(c1, ':') {
+        return false;
+    }
+    let Some(c2) = file.next_code(c1) else { return false };
+    if !file.is_punct(c2, ':') {
+        return false;
+    }
+    file.next_code(c2).is_some_and(|m| file.is_ident(m, member))
 }
 
 /// The dispatch-parity-coverage rule over in-memory texts: every string
 /// in `dispatch_text`'s `VARIANTS` list must occur (word-delimited) in
-/// `parity_text`. Split out from [`check_dispatch_parity`] for direct
-/// unit testing.
+/// `parity_text`. Split out from the root-level check for direct unit
+/// testing.
 pub fn scan_dispatch_parity(dispatch_text: &str, parity_text: &str) -> Report {
     const DISPATCH_REL: &str = "crates/tensor/src/dispatch.rs";
+    let file = SourceFile::parse(
+        DISPATCH_REL,
+        "tensor",
+        FileKind::Lib,
+        dispatch_text.to_string(),
+    );
     let mut report = Report::new();
-    let Some(start) = dispatch_text.find("VARIANTS") else { return report };
-    // Skip past the `=` so the `[` in the `&[&str]` type annotation
-    // doesn't masquerade as the list opener.
-    let Some(eq) = dispatch_text[start..].find('=') else { return report };
-    let Some(open) = dispatch_text[start + eq..].find('[') else { return report };
-    let list_start = start + eq + open;
-    let Some(close) = dispatch_text[list_start..].find(']') else { return report };
-    let list = &dispatch_text[list_start..list_start + close];
-    let mut offset = 0;
-    while let Some(q0) = list[offset..].find('"') {
-        let name_start = offset + q0 + 1;
-        let Some(q1) = list[name_start..].find('"') else { break };
-        let name = &list[name_start..name_start + q1];
-        offset = name_start + q1 + 1;
+    // Locate `VARIANTS … = … [ "name", … ]` on the token stream: the `[`
+    // after the `=` opens the list (the one in the `&[&str]` type
+    // annotation sits before the `=` and is skipped).
+    let Some(variants) = (0..file.toks.len()).find(|&i| file.is_ident(i, "VARIANTS")) else {
+        return report;
+    };
+    let Some(eq) = (variants..file.toks.len()).find(|&i| file.is_punct(i, '=')) else {
+        return report;
+    };
+    let Some(open) = (eq..file.toks.len()).find(|&i| file.is_punct(i, '[')) else {
+        return report;
+    };
+    for i in open..file.toks.len() {
+        if file.is_punct(i, ']') {
+            break;
+        }
+        if file.toks[i].kind != TokKind::Str {
+            continue;
+        }
+        let name = file.tok_text(i).trim_matches('"');
         if name.is_empty() || contains_word(parity_text, name) {
             continue;
         }
-        let abs = list_start + name_start;
-        let line_no = dispatch_text[..abs].matches('\n').count() + 1;
-        let raw_line = dispatch_text.lines().nth(line_no - 1).unwrap_or_default();
-        if allow_marker_matches(raw_line, RULE_DISPATCH_PARITY) {
+        let line = file.toks[i].line;
+        if file.allow_for("lint", RULE_DISPATCH_PARITY, line).is_some() {
             continue;
         }
         report.push(Diagnostic {
@@ -432,52 +270,50 @@ pub fn scan_dispatch_parity(dispatch_text: &str, parity_text: &str) -> Report {
                 "kernel variant `{name}` is registered in VARIANTS but never exercised \
                  in crates/tensor/tests/kernel_parity.rs"
             ),
-            location: format!("{DISPATCH_REL}:{line_no}"),
+            location: format!("{DISPATCH_REL}:{line}"),
         });
     }
     report
 }
 
-/// File-reading wrapper for [`scan_dispatch_parity`]: inert when the tree
-/// has no dispatch layer; a missing or empty parity harness flags every
-/// registered variant.
-fn check_dispatch_parity(root: &Path) -> Report {
-    let Ok(dispatch_text) = std::fs::read_to_string(root.join("crates/tensor/src/dispatch.rs"))
-    else {
-        return Report::new();
+/// Runs every lint rule over a loaded workspace's library sources under
+/// `crates/` (bins, tests, and benches are exempt, as is the root
+/// package). `root` is only used to read the coverage harnesses when the
+/// workspace didn't load them (missing files degrade to empty coverage).
+pub fn lint_workspace(ws: &Workspace, root: &Path) -> Report {
+    let text_of = |rel: &str| -> Option<&str> {
+        ws.files.iter().find(|f| f.rel == rel).map(|f| f.text.as_str())
     };
-    let parity_text = std::fs::read_to_string(root.join("crates/tensor/tests/kernel_parity.rs"))
-        .unwrap_or_default();
-    scan_dispatch_parity(&dispatch_text, &parity_text)
-}
-
-/// Recursively collects `.rs` files under `dir`, skipping `src/bin/`
-/// (application code) — the lint targets library sources.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort(); // deterministic finding order
-    for path in entries {
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+    let gradcheck_owned;
+    let gradcheck_text = match text_of("crates/tensor/tests/gradcheck.rs") {
+        Some(t) => t,
+        None => {
+            gradcheck_owned = std::fs::read_to_string(root.join("crates/tensor/tests/gradcheck.rs"))
+                .unwrap_or_default();
+            &gradcheck_owned
         }
+    };
+
+    let mut report = Report::new();
+    for file in &ws.files {
+        if file.file_kind != FileKind::Lib || !file.rel.starts_with("crates/") {
+            continue;
+        }
+        report.merge(scan_file(file, gradcheck_text));
     }
+    if let Some(dispatch_text) = text_of("crates/tensor/src/dispatch.rs") {
+        let parity_text = text_of("crates/tensor/tests/kernel_parity.rs").unwrap_or_default();
+        report.merge(scan_dispatch_parity(dispatch_text, parity_text));
+    }
+    report
 }
 
 /// Lints every library source under `root/crates/*/src/` against all rules.
 /// `root` is a repository layout root — the fixture tests point this at a
 /// directory mirroring the layout with seeded violations.
 pub fn lint_root(root: &Path) -> Report {
-    let mut report = Report::new();
-    let gradcheck_text = std::fs::read_to_string(root.join("crates/tensor/tests/gradcheck.rs"))
-        .unwrap_or_default();
-    let crates_dir = root.join("crates");
-    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+    if !root.join("crates").is_dir() {
+        let mut report = Report::new();
         report.push(Diagnostic {
             analysis: Analysis::Lint,
             rule: "bad-root",
@@ -485,42 +321,25 @@ pub fn lint_root(root: &Path) -> Report {
             location: String::new(),
         });
         return report;
-    };
-    let mut crate_dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    crate_dirs.sort();
-    for crate_dir in crate_dirs {
-        let src = crate_dir.join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        for file in files {
-            let Ok(text) = std::fs::read_to_string(&file) else { continue };
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            report.merge(scan_source(&rel, &text, &gradcheck_text));
+    }
+    match Workspace::load(root) {
+        Ok(ws) => lint_workspace(&ws, root),
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(Diagnostic {
+                analysis: Analysis::Lint,
+                rule: "bad-root",
+                message: format!("failed to load {}: {e}", root.display()),
+                location: String::new(),
+            });
+            report
         }
     }
-    report.merge(check_dispatch_parity(root));
-    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn strip_removes_comments_and_literals() {
-        let mut blk = false;
-        assert_eq!(strip_line("let x = 1; // .unwrap()", &mut blk), "let x = 1; ");
-        assert_eq!(strip_line("let s = \"} .unwrap() {\";", &mut blk), "let s = ;");
-        assert_eq!(strip_line("let c = '}';", &mut blk), "let c = ;");
-        assert_eq!(strip_line("a /* x", &mut blk), "a ");
-        assert!(blk);
-        assert_eq!(strip_line("y */ b", &mut blk), " b");
-        assert!(!blk);
-    }
 
     #[test]
     fn rule_patterns_inside_string_literals_never_fire() {
@@ -575,6 +394,14 @@ mod tests {
     }
 
     #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        // The old scanner matched the literal `.unwrap()`; the token rule
+        // must be exactly as precise about neighboring method names.
+        let text = "fn f() { x.lock().unwrap_or_else(|p| p.into_inner()); }\n";
+        assert!(scan_source("crates/x/src/lib.rs", text, "").is_clean());
+    }
+
+    #[test]
     fn raw_alloc_only_flagged_in_hotpath_modules() {
         let text = "fn f() { let m = Matrix::from_vec(1, 1, vec![0.0]); }\n";
         assert_eq!(scan_source("crates/tensor/src/ops/arith.rs", text, "").diagnostics.len(), 1);
@@ -588,6 +415,26 @@ mod tests {
         assert_eq!(scan_source("crates/tensor/src/matrix.rs", inside, "").diagnostics.len(), 1);
         assert_eq!(scan_source("crates/tensor/src/matrix.rs", outside, "").diagnostics.len(), 0);
         assert_eq!(scan_source("crates/core/src/trainer.rs", inside, "").diagnostics.len(), 0);
+    }
+
+    #[test]
+    fn impl_trait_for_type_is_not_a_loop() {
+        // `impl Iterator for Chunks { … }` — the old line scanner saw the
+        // word `for` and treated the impl body as a loop, so an
+        // `Instant::now` in a trait method was misflagged.
+        let text = "\
+impl Iterator for Chunks {
+    fn next(&mut self) -> Option<()> {
+        let t = Instant::now();
+        None
+    }
+}
+";
+        assert_eq!(
+            scan_source("crates/tensor/src/matrix.rs", text, "").diagnostics.len(),
+            0,
+            "impl-for is not a loop"
+        );
     }
 
     #[test]

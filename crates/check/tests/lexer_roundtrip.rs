@@ -1,0 +1,150 @@
+//! Property tests for the analyzer's token-level lexer: it must be *total*
+//! (never panic, any input) and *lossless* (token texts concatenate back to
+//! the input byte-for-byte), because every downstream analysis trusts the
+//! token spans to tile the file exactly.
+//!
+//! The vendored proptest has no regex-string strategies, so the generators
+//! are hand-rolled: a char soup biased toward lexer-tricky bytes, and a
+//! fragment soup that splices whole raw strings, nested comments, char
+//! literals, and lifetimes next to each other.
+
+use autoac_check::analyze::lexer::{lex, TokKind};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Lossless + total: lexing never panics and the token texts tile the input.
+fn assert_roundtrip(input: &str) {
+    let toks = lex(input);
+    let rebuilt: String = toks.iter().map(|t| t.text).collect();
+    assert_eq!(rebuilt, input, "token texts must concatenate to the input");
+    // Line numbers never decrease and start at 1.
+    let mut last = 1;
+    for t in &toks {
+        assert!(t.line >= last, "line numbers must be monotonic");
+        last = t.line;
+    }
+}
+
+/// Strategy: strings of up to `max_len` chars drawn from `charset`.
+struct Soup {
+    charset: &'static [char],
+    max_len: usize,
+}
+
+impl Strategy for Soup {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let len = rng.gen_range(0..self.max_len + 1);
+        (0..len).map(|_| self.charset[rng.gen_range(0..self.charset.len())]).collect()
+    }
+}
+
+/// Strategy: concatenations of whole Rust-ish fragments, so multi-byte
+/// constructs (raw strings, nested comments) actually appear intact.
+struct Fragments {
+    max_frags: usize,
+}
+
+const FRAGS: &[&str] = &[
+    "fn f() { 1 }",
+    "r\"raw\"",
+    "r#\"ra\"w\"#",
+    "r##\"x\"# still\"##",
+    "b\"bytes\\\"esc\"",
+    "\"str with \\\\ and \\\" quotes\"",
+    "\"unterminated",
+    "/* block /* nested */ still */",
+    "/* unterminated",
+    "// line comment",
+    "/// doc comment\n",
+    "'c'",
+    "'\\n'",
+    "'\\''",
+    "'static",
+    "'a",
+    "b'x'",
+    "0x1f_u32",
+    "1.5e-3",
+    "ident_0",
+    "x[i]",
+    ".unwrap()",
+    "::<>",
+    "\n",
+    " ",
+    "\t",
+    "}",
+    "{",
+];
+
+impl Strategy for Fragments {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let n = rng.gen_range(0..self.max_frags + 1);
+        (0..n).map(|_| FRAGS[rng.gen_range(0..FRAGS.len())]).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Bytes that drive every branch of the lexer: quote/hash/slash soup.
+    #[test]
+    fn lexer_soup_roundtrips(input in Soup {
+        charset: &['r', 'b', '#', '"', '\'', '\\', '/', '*', 'a', '_', '0',
+                   '9', '.', 'e', '{', '}', '[', ']', ' ', '\n', 'é'],
+        max_len: 64,
+    }) {
+        assert_roundtrip(&input);
+    }
+
+    // Whole fragments keep raw strings and nested comments intact so the
+    // happy paths are exercised, not just the error-recovery ones.
+    #[test]
+    fn lexer_fragments_roundtrip(input in Fragments { max_frags: 12 }) {
+        assert_roundtrip(&input);
+    }
+}
+
+/// Pinned counterexamples for the constructs the fixture soup found or
+/// nearly found: these must keep lexing exactly, not just by luck of seed.
+#[test]
+fn pinned_tricky_inputs_roundtrip() {
+    for s in [
+        "r#\"has \"quote\" inside\"#",
+        "r###\"##\"## not the end\"###",
+        "/* a /* b /* c */ */ */ after",
+        "'a: loop { break 'a; }",
+        "let c = '\\u{1F600}';",
+        "b\"\\x00\\xff\"",
+        "\"\\\\\"",   // escaped backslash then close
+        "r\"",         // unterminated raw string opener
+        "r#",          // raw-string prefix that never opens
+        "//",          // bare line comment at EOF
+        "'",           // lone quote at EOF
+    ] {
+        assert_roundtrip(s);
+        assert!(!lex(s).is_empty() || s.is_empty());
+    }
+}
+
+/// Classification smoke: the kinds the analyses rely on are stable.
+#[test]
+fn classification_of_core_constructs() {
+    let toks = lex("r#\"x\"# \"s\" 'c' 'a ident 7 // c\n/* b */");
+    let kinds: Vec<TokKind> = toks.iter().filter(|t| t.kind != TokKind::Whitespace).map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokKind::RawStr,
+            TokKind::Str,
+            TokKind::CharLit,
+            TokKind::Lifetime,
+            TokKind::Ident,
+            TokKind::Number,
+            TokKind::LineComment,
+            TokKind::BlockComment,
+        ]
+    );
+}

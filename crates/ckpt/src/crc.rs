@@ -27,6 +27,7 @@ const TABLE: [u32; 256] = {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in data {
+        // analyze:allow(panic, TABLE has 256 entries and the index is masked with 0xFF)
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc

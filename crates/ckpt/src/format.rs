@@ -186,6 +186,7 @@ impl Snapshot {
         if b.len() % 8 != 0 {
             return Err(malformed(name, "length not a multiple of 8"));
         }
+        // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
         Ok(b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("length checked by caller"))).collect())
     }
 
@@ -204,6 +205,7 @@ impl Snapshot {
         if b.len() % 4 != 0 {
             return Err(malformed(name, "length not a multiple of 4"));
         }
+        // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
         Ok(b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("length checked by caller"))).collect())
     }
 
@@ -264,6 +266,7 @@ impl Snapshot {
         if b.len() < 8 {
             return Err(malformed(name, "missing matrix count"));
         }
+        // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
         let count = u64::from_le_bytes(b[..8].try_into().expect("length checked by caller")) as usize;
         let mut rest = &b[8..];
         let mut out = Vec::with_capacity(count);
@@ -303,19 +306,24 @@ impl Snapshot {
         if cur.take(8)? != MAGIC.as_slice() {
             return Err(CkptError::BadMagic);
         }
+        // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
         let version = u32::from_le_bytes(cur.take(4)?.try_into().expect("length checked by caller"));
         if version != VERSION {
             return Err(CkptError::BadVersion(version));
         }
+        // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
         let count = u32::from_le_bytes(cur.take(4)?.try_into().expect("length checked by caller"));
         let mut sections = BTreeMap::new();
         for _ in 0..count {
+            // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
             let name_len = u16::from_le_bytes(cur.take(2)?.try_into().expect("length checked by caller")) as usize;
             let name = std::str::from_utf8(cur.take(name_len)?)
                 .map_err(|_| malformed("<header>", "section name is not UTF-8"))?
                 .to_string();
+            // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
             let payload_len = u64::from_le_bytes(cur.take(8)?.try_into().expect("length checked by caller")) as usize;
             let payload = cur.take(payload_len)?.to_vec();
+            // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
             let stored = u32::from_le_bytes(cur.take(4)?.try_into().expect("length checked by caller"));
             if crc32(&payload) != stored {
                 return Err(CkptError::Crc { section: name });
@@ -367,7 +375,9 @@ fn decode_matrix<'a>(b: &'a [u8], name: &str) -> Result<(Matrix, &'a [u8]), Ckpt
     if b.len() < 16 {
         return Err(malformed(name, "matrix header truncated"));
     }
+    // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
     let rows = u64::from_le_bytes(b[..8].try_into().expect("length checked by caller")) as usize;
+    // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
     let cols = u64::from_le_bytes(b[8..16].try_into().expect("length checked by caller")) as usize;
     let n = rows
         .checked_mul(cols)
@@ -379,6 +389,7 @@ fn decode_matrix<'a>(b: &'a [u8], name: &str) -> Result<(Matrix, &'a [u8]), Ckpt
     }
     let data: Vec<f32> = rest[..n]
         .chunks_exact(4)
+        // analyze:allow(panic, infallible: slice length fixed by the preceding bounds check)
         .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("length checked by caller"))))
         .collect();
     Ok((Matrix::from_vec(rows, cols, data), &rest[n..]))

@@ -74,6 +74,7 @@ impl Dataset {
         for (t, feat) in self.features.iter().enumerate() {
             if feat.is_some() {
                 for v in self.graph.nodes_of_type(t) {
+                    // analyze:allow(panic, nodes_of_type yields ids below num_nodes and mask is sized num_nodes)
                     mask[v] = true;
                 }
             }

@@ -282,7 +282,7 @@ fn parse_lit(
     lit: &'static [u8],
     value: Value,
 ) -> Result<Value, ParseError> {
-    if bytes[*pos..].starts_with(lit) {
+    if bytes.get(*pos..).is_some_and(|rest| rest.starts_with(lit)) {
         *pos += lit.len();
         Ok(value)
     } else {
@@ -365,6 +365,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
 }
 
 fn utf8_chunk(bytes: &[u8], start: usize, end: usize) -> Result<&str, ParseError> {
+    // analyze:allow(panic, start..end is the parse_string cursor range; both are positions of already-matched bytes, so the range is in bounds)
     std::str::from_utf8(&bytes[start..end])
         .map_err(|_| ParseError { at: start, msg: "invalid utf-8 in string" })
 }

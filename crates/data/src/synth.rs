@@ -179,15 +179,18 @@ pub fn generate(spec: &GraphSpec, scale: Scale, seed: u64) -> Dataset {
     // Per (type, class) samplers over *global* ids, plus per-type samplers.
     let mut offsets = vec![0usize];
     for &c in &counts {
+        // analyze:allow(panic, offsets is seeded with one element and only grows)
         offsets.push(offsets.last().expect("non-empty") + c);
     }
     let global_ids_of = |t: usize| -> Vec<u32> {
+        // analyze:allow(panic, t is a node-type id and offsets has one entry per type plus a sentinel)
         (offsets[t]..offsets[t + 1]).map(|v| v as u32).collect()
     };
     let mut by_class: Vec<Vec<Vec<u32>>> = Vec::with_capacity(counts.len());
     for (t, lat) in latent.iter().enumerate() {
         let mut groups = vec![Vec::new(); classes];
         for (i, &c) in lat.iter().enumerate() {
+            // analyze:allow(panic, latent classes are produced modulo `classes` and groups is sized `classes`)
             groups[c as usize].push((offsets[t] + i) as u32);
         }
         by_class.push(groups);
@@ -214,14 +217,19 @@ pub fn generate(spec: &GraphSpec, scale: Scale, seed: u64) -> Dataset {
         // link-prediction masking would leak the held-out edge).
         let mut seen = std::collections::HashSet::with_capacity(n_edges * 2);
         for _ in 0..n_edges {
+            // analyze:allow(panic, edge-type endpoints come from the preset spec and index one sampler per node type)
             let s = type_samplers[et.src].sample(&mut rng);
+            // analyze:allow(panic, s is drawn from the global-id range of type et.src so the local index is in bounds)
             let s_class = latent[et.src][(s as usize) - offsets[et.src]] as usize;
             let d = if rng.gen_bool(et.assortativity) {
+                // analyze:allow(panic, class_samplers has one row per node type and `classes` columns; s_class < classes)
                 match &class_samplers[et.dst][s_class] {
                     Some(sampler) => sampler.sample(&mut rng),
+                    // analyze:allow(panic, et.dst is a preset node-type id with a dedicated sampler)
                     None => type_samplers[et.dst].sample(&mut rng),
                 }
             } else {
+                // analyze:allow(panic, et.dst is a preset node-type id with a dedicated sampler)
                 type_samplers[et.dst].sample(&mut rng)
             };
             if s == d || !seen.insert((s, d)) {
@@ -239,6 +247,7 @@ pub fn generate(spec: &GraphSpec, scale: Scale, seed: u64) -> Dataset {
         .enumerate()
         .map(|(t, nt)| {
             nt.raw_dim.map(|dim| {
+                // analyze:allow(panic, t enumerates node_types and counts/latent have one entry per type)
                 bow_features(counts[t], dim, classes, &latent[t], spec, &mut rng)
             })
         })
@@ -246,6 +255,7 @@ pub fn generate(spec: &GraphSpec, scale: Scale, seed: u64) -> Dataset {
 
     // --- Labels and split -------------------------------------------------
     let (labels, split) = if spec.num_classes > 0 {
+        // analyze:allow(panic, target_type is a preset node-type id and latent has one entry per type)
         let mut labels = latent[spec.target_type].clone();
         for l in &mut labels {
             if rng.gen_bool(spec.label_noise) {

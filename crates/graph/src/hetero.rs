@@ -73,6 +73,7 @@ impl HeteroGraphBuilder {
 
     /// Adds one edge in *global* node ids.
     pub fn add_edge(&mut self, etype: EdgeTypeId, src: u32, dst: u32) {
+        // analyze:allow(panic, etype is the id returned by add_edge_type which pushed the matching edges entry)
         self.edges[etype].push((src, dst));
     }
 
@@ -158,6 +159,7 @@ impl HeteroGraph {
 
     /// Global id range of node type `t`.
     pub fn nodes_of_type(&self, t: NodeTypeId) -> Range<usize> {
+        // analyze:allow(panic, type_offsets has one entry per declared node type plus a sentinel; t is a declared type id)
         self.type_offsets[t]..self.type_offsets[t + 1]
     }
 

@@ -46,6 +46,7 @@ fn env_enabled() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("AUTOAC_OBS") {
         Ok(raw) => {
+            // analyze:allow(panic, malformed AUTOAC_* values abort at startup by design instead of silently defaulting)
             parse_bool_env("AUTOAC_OBS", &raw).unwrap_or_else(|e| panic!("autoac-obs: {e}"))
         }
         Err(_) => false,

@@ -90,6 +90,7 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        // analyze:allow(panic, bucket_index is clamped to NUM_BUCKETS - 1)
         self.buckets[bucket_index(v)] += 1;
     }
 
@@ -118,6 +119,7 @@ impl Histogram {
         let target = q * (self.count as f64 - 1.0) + 1.0;
         let mut cum = 0u64;
         for i in 0..NUM_BUCKETS {
+            // analyze:allow(panic, i ranges over 0..NUM_BUCKETS which is the buckets array length)
             let c = self.buckets[i];
             if c == 0 {
                 continue;

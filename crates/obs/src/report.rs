@@ -217,9 +217,11 @@ impl ObsReport {
             out.push_str(&format!("# TYPE autoac_{n} histogram\n"));
             let mut cum = 0u64;
             for i in 0..NUM_BUCKETS {
+                // analyze:allow(panic, i ranges over 0..NUM_BUCKETS which is the buckets array length)
                 if h.buckets[i] == 0 {
                     continue;
                 }
+                // analyze:allow(panic, i ranges over 0..NUM_BUCKETS which is the buckets array length)
                 cum += h.buckets[i];
                 let (_, hi) = bucket_bounds(i);
                 let le = if hi.is_infinite() { "+Inf".to_string() } else { jnum(hi) };

@@ -51,6 +51,7 @@ impl SharedView {
         if node >= self.num_nodes {
             return None;
         }
+        // analyze:allow(panic, node < num_nodes was checked above and attrs holds num_nodes rows of attr_dim)
         Some(&self.attrs[node * self.attr_dim..(node + 1) * self.attr_dim])
     }
 }

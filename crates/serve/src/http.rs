@@ -73,6 +73,7 @@ pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Rea
                     Ok(ReadOutcome::Bad(400, "connection closed mid-request"))
                 };
             }
+            // analyze:allow(panic, Read::read returns n <= chunk.len() by contract)
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
                 if buf.is_empty() {

@@ -194,6 +194,7 @@ impl Matrix {
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
+        // analyze:allow(panic, hot-path accessor; bounds are the documented caller contract enforced by the debug_assert)
         self.data[r * self.cols + c] = v;
     }
 
@@ -208,6 +209,7 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
+        // analyze:allow(panic, hot-path accessor; bounds are the documented caller contract enforced by the debug_assert)
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 

@@ -275,6 +275,7 @@ pub mod race {
             None => true,
         });
         if fatal {
+            // analyze:allow(panic, a detected data race outside a capture scope must abort; continuing would serve corrupted results)
             panic!("autoac-check: {v}");
         }
     }
@@ -335,8 +336,10 @@ pub mod race {
             let accesses = self
                 .accesses
                 .into_inner()
+                // analyze:allow(panic, a poisoned checker mutex means a worker already panicked; aborting is the sanitizer contract)
                 .expect("race checker mutex poisoned");
             for (i, a) in accesses.iter().enumerate() {
+                // analyze:allow(panic, i enumerates accesses so i + 1 is at most its length)
                 for b in &accesses[i + 1..] {
                     let conflict = a.worker != b.worker
                         && a.buf == b.buf

@@ -342,6 +342,7 @@ fn san_report(v: PoolViolation) {
         }
     });
     if fatal {
+        // analyze:allow(panic, a detected pool violation outside a capture scope must abort; continuing would serve freed memory)
         panic!("autoac-check: {v}");
     }
 }
@@ -485,8 +486,9 @@ pub fn seed_use_after_release_for_tests() {
     let mut a = PoolVec::zeroed(MIN_BUCKET);
     let ptr = a.vec.as_mut_ptr();
     drop(a); // buffer enters the free list, canaried at both ends
-    // The allocation is still alive (owned by the thread-local free list);
-    // this models exactly the bug class: a stale alias writing after free.
+    // SAFETY: the allocation is still alive (owned by the thread-local free
+    // list), so the write is to valid memory; it deliberately models the bug
+    // class this fixture exists to trigger: a stale alias writing after free.
     unsafe { ptr.write(0.0) };
     let _b = PoolVec::zeroed(MIN_BUCKET); // pops the same buffer → detected
 }

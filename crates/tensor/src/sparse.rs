@@ -169,6 +169,9 @@ impl Csr {
         let mut indices = vec![0u32; self.nnz()];
         let mut values = vec![0.0f32; self.nnz()];
         struct SendPtr<T>(*mut T);
+        // SAFETY: the pointer targets a Vec that outlives every worker, and
+        // pass 2 hands each thread disjoint per-column slot ranges, so
+        // cross-thread writes never alias.
         unsafe impl<T> Send for SendPtr<T> {}
         impl<T> Clone for SendPtr<T> {
             fn clone(&self) -> Self {

@@ -66,6 +66,20 @@ AUTOAC_SLOW_TESTS=1 AUTOAC_NUM_THREADS="${MAX_THREADS}" cargo test -q
 echo "== checking pass: autoac-lint, suite under AUTOAC_CHECK=1, check_smoke =="
 cargo run -q --release -p autoac-check --bin autoac-lint \
   || { echo "verify.sh: FAIL — autoac-lint found violations"; exit 1; }
+
+echo "== analysis pass: autoac-lint --analyze vs results/ANALYSIS.json =="
+ANALYSIS_NOW="$(mktemp)"
+cargo run -q --release -p autoac-check --bin autoac-lint -- --analyze --json > "$ANALYSIS_NOW" \
+  || { echo "verify.sh: FAIL — non-allowlisted analysis findings; fix or analyze:allow(rule, reason)"; \
+       cat "$ANALYSIS_NOW"; rm -f "$ANALYSIS_NOW"; exit 1; }
+if ! diff -u results/ANALYSIS.json "$ANALYSIS_NOW"; then
+  echo "verify.sh: FAIL — analysis drifted from the committed baseline."
+  echo "  If the change is intentional, re-baseline with:"
+  echo "    cargo run -q --release -p autoac-check --bin autoac-lint -- --analyze --json > results/ANALYSIS.json"
+  rm -f "$ANALYSIS_NOW"
+  exit 1
+fi
+rm -f "$ANALYSIS_NOW"
 # Release mode: the armed hooks sit on the hottest paths and the debug
 # suite slows several-fold with them on.
 AUTOAC_CHECK=1 cargo test -q --release \

@@ -22,7 +22,13 @@ fn tiny(name: &str, seed: u64) -> Dataset {
 
 /// True when the full (original-budget) profile was requested.
 fn slow() -> bool {
-    std::env::var("AUTOAC_SLOW_TESTS").is_ok_and(|v| !v.is_empty() && v != "0")
+    match std::env::var("AUTOAC_SLOW_TESTS") {
+        Ok(raw) => match autoac_obs::parse_bool_env("AUTOAC_SLOW_TESTS", &raw) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        },
+        Err(_) => false,
+    }
 }
 
 /// Picks the fast-profile value by default, the original under
