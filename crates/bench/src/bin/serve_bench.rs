@@ -22,6 +22,15 @@
 //! serve_bench --connect HOST:PORT [--clients N] [--requests N]
 //!             [--shutdown]                        # drive external server
 //! ```
+//!
+//! `--smoke` clamps the load for CI and, unless `--out` is given
+//! explicitly, writes its report to a temp path so a smoke run can never
+//! clobber the committed `results/BENCH_serve.json` measurement.
+//!
+//! A third mode, `--validate-flight PATH`, strictly parses a flight-
+//! recorder dump (`FLIGHT_<run>.jsonl`) line by line and exits non-zero
+//! on the first malformed record — `scripts/verify.sh` runs it against
+//! the dump a terminated daemon leaves behind.
 
 use std::fs;
 use std::path::PathBuf;
@@ -143,14 +152,31 @@ fn run_phase(addr: &str, clients: usize, requests: usize, sets: &[Vec<usize>]) -
 }
 
 /// Validates Prometheus exposition text: every line is a comment or
-/// `name[{labels}] value` with a parseable value. Returns the series
-/// count.
+/// `name[{labels}] value`, optionally followed by an OpenMetrics exemplar
+/// suffix (` # {labels} value`), with parseable values. Returns the
+/// series count.
 fn validate_exposition(text: &str) -> Result<usize, String> {
     let mut series = 0usize;
     for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim_end();
+        let mut line = line.trim_end();
         if line.is_empty() || line.starts_with('#') {
             continue;
+        }
+        // Exemplars ride after the sample value: `... # {trace_id="…"} v`.
+        // Validate and strip the suffix so the plain-series check below
+        // only sees `name{labels} value`.
+        if let Some((sample, exemplar)) = line.split_once(" # ") {
+            let (labels, ex_value) = exemplar
+                .strip_prefix('{')
+                .and_then(|rest| rest.split_once("} "))
+                .ok_or_else(|| format!("line {}: malformed exemplar: {line:?}", lineno + 1))?;
+            if labels.contains('{') || labels.contains('}') {
+                return Err(format!("line {}: malformed exemplar labels: {line:?}", lineno + 1));
+            }
+            if ex_value.parse::<f64>().is_err() {
+                return Err(format!("line {}: bad exemplar value {ex_value:?}", lineno + 1));
+            }
+            line = sample;
         }
         let (name_part, value_part) = line
             .rsplit_once(' ')
@@ -181,7 +207,7 @@ fn validate_exposition(text: &str) -> Result<usize, String> {
 }
 
 fn main() {
-    let mut out_path = PathBuf::from("results/BENCH_serve.json");
+    let mut out_path: Option<PathBuf> = None;
     let mut connect: Option<String> = None;
     let mut smoke = false;
     let mut shutdown = false;
@@ -191,8 +217,9 @@ fn main() {
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().expect("flag takes a value");
         match flag.as_str() {
-            "--out" => out_path = PathBuf::from(value()),
+            "--out" => out_path = Some(PathBuf::from(value())),
             "--connect" => connect = Some(value()),
+            "--validate-flight" => return validate_flight(&PathBuf::from(value())),
             "--clients" => clients = value().parse().expect("--clients N"),
             "--requests" => requests = value().parse().expect("--requests N"),
             "--smoke" => smoke = true,
@@ -204,12 +231,54 @@ fn main() {
         clients = clients.min(4);
         requests = requests.min(40);
     }
+    // `--smoke` is a correctness pass, not a measurement: unless the
+    // caller explicitly routed the output somewhere, keep it away from
+    // the committed `results/BENCH_serve.json` artifact.
+    let out_path = out_path.unwrap_or_else(|| {
+        if smoke {
+            std::env::temp_dir().join(format!("BENCH_serve_smoke_{}.json", std::process::id()))
+        } else {
+            PathBuf::from("results/BENCH_serve.json")
+        }
+    });
     autoac_obs::set_force(Some(true));
 
     match connect {
         Some(addr) => drive_external(&addr, clients, requests, shutdown),
         None => ab_benchmark(&out_path, clients, requests, smoke),
     }
+}
+
+/// Strictly parses a flight-recorder dump: every line must be valid
+/// JSON, the first line must be the ring's meta header, and the body
+/// must contain at least the request summaries a served run produces.
+fn validate_flight(path: &std::path::Path) {
+    let text = fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read flight dump {}: {e}", path.display()));
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("flight line {} invalid: {e}: {line}", i + 1));
+        if i == 0 {
+            assert_eq!(
+                v.get("kind").and_then(Value::as_str),
+                Some("flight"),
+                "first line must be the ring meta header"
+            );
+        } else {
+            assert!(v.get("kind").and_then(Value::as_str).is_some(), "record without kind");
+            records += 1;
+        }
+    }
+    assert!(records > 0, "flight dump has a header but no records");
+    println!("flight dump: ok ({records} records, {})", path.display());
+}
+
+/// p50 of a server-side stage histogram in microseconds; `0.0` when the
+/// stage never fired (keeps the JSON artifact strictly parseable —
+/// `NaN` is not JSON).
+fn stage_p50_us(rep: &autoac_obs::ObsReport, name: &str) -> f64 {
+    rep.hists.get(name).filter(|h| h.count > 0).map_or(0.0, |h| h.quantile(0.5) / 1e3)
 }
 
 fn drive_external(addr: &str, clients: usize, requests: usize, shutdown: bool) {
@@ -242,6 +311,18 @@ fn drive_external(addr: &str, clients: usize, requests: usize, shutdown: bool) {
         "serving counters must be exported"
     );
     println!("metrics: ok ({series} series)");
+
+    // The observability surface of a live server: SLO status and the
+    // retained slowest-request timelines must both be well-formed JSON.
+    let s = c.get("/slo").expect("slo");
+    assert_eq!(s.status, 200, "{}", s.text());
+    let slo = json::parse(&s.text()).expect("slo json");
+    assert!(slo.get("firing").is_some(), "slo status carries `firing`");
+    let t = c.get("/debug/traces").expect("debug/traces");
+    assert_eq!(t.status, 200, "{}", t.text());
+    let traces = json::parse(&t.text()).expect("traces json");
+    let count = traces.get("count").and_then(Value::as_usize).expect("count field");
+    println!("slo: ok, traces: {count} retained");
 
     if shutdown {
         let r = c.post("/admin/shutdown", "{}").expect("shutdown");
@@ -309,15 +390,26 @@ fn ab_benchmark(out_path: &PathBuf, clients: usize, requests: usize, smoke: bool
 
     let rps_on = on.total_requests as f64 / on.wall_secs;
     let rps_off = off.total_requests as f64 / off.wall_secs;
+    // Server-side stage medians from the request timelines: where a
+    // request actually spends its time (queue → batch window → compute).
+    let stage = |rep: &autoac_obs::ObsReport| {
+        format!(
+            "\"queue_wait_p50_us\": {:.1},\n    \"batch_wait_p50_us\": {:.1},\n    \
+             \"compute_p50_us\": {:.1}",
+            stage_p50_us(rep, "serve_queue_wait_ns"),
+            stage_p50_us(rep, "serve_batch_wait_ns"),
+            stage_p50_us(rep, "serve_compute_ns"),
+        )
+    };
     let json = format!(
         "{{\n  \"preset\": \"{}\",\n  \"scale\": \"{}\",\n  \"ckpt\": \"{ckpt}\",\n  \
          \"macro_f1\": {:.6},\n  \"micro_f1\": {:.6},\n  \
          \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \
          \"batching_on\": {{\n    \"throughput_rps\": {rps_on:.1},\n    \
-         \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \
+         \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    {},\n    \
          \"forwards\": {on_fwd},\n    \"mean_batch\": {on_mean:.2}\n  }},\n  \
          \"batching_off\": {{\n    \"throughput_rps\": {rps_off:.1},\n    \
-         \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \
+         \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    {},\n    \
          \"forwards\": {off_fwd},\n    \"mean_batch\": {off_mean:.2}\n  }},\n  \
          \"throughput_speedup\": {:.2},\n  \
          \"digest\": \"{:016x}\",\n  \"bitwise_identical\": true\n}}\n",
@@ -327,8 +419,10 @@ fn ab_benchmark(out_path: &PathBuf, clients: usize, requests: usize, smoke: bool
         outcome.micro_f1,
         on.p50_us,
         on.p99_us,
+        stage(&on.report),
         off.p50_us,
         off.p99_us,
+        stage(&off.report),
         rps_on / rps_off,
         on.digest,
     );
@@ -337,4 +431,44 @@ fn ab_benchmark(out_path: &PathBuf, clients: usize, requests: usize, smoke: bool
     }
     fs::write(out_path, json).expect("write bench report");
     println!("  wrote   : {}", out_path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_exposition;
+
+    #[test]
+    fn validator_accepts_warn_family_with_tag_labels() {
+        let text = "# TYPE autoac_warnings counter\n\
+                    autoac_warnings{tag=\"ckpt\"} 3\n\
+                    autoac_warnings{tag=\"reload_rejected\"} 1\n";
+        assert_eq!(validate_exposition(text), Ok(2));
+    }
+
+    #[test]
+    fn validator_accepts_exemplar_suffixed_bucket_lines() {
+        let text = "# TYPE autoac_serve_request_ns histogram\n\
+                    autoac_serve_request_ns_bucket{le=\"1024.0\"} 2 # {trace_id=\"000000000000beef\"} 1000.0\n\
+                    autoac_serve_request_ns_bucket{le=\"+Inf\"} 2\n\
+                    autoac_serve_request_ns_count 2\n";
+        assert_eq!(validate_exposition(text), Ok(3));
+    }
+
+    #[test]
+    fn validator_rejects_torn_exemplars() {
+        for bad in [
+            "m_bucket{le=\"1.0\"} 2 # trace_id=\"beef\" 1.0\n", // no braces
+            "m_bucket{le=\"1.0\"} 2 # {trace_id=\"beef\"}\n",   // no value
+            "m_bucket{le=\"1.0\"} 2 # {trace_id=\"beef\"} x\n", // bad value
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_still_rejects_plain_garbage() {
+        assert!(validate_exposition("no_value_here\n").is_err());
+        assert!(validate_exposition("bad name{x=\"1\"} 2\n").is_err());
+        assert!(validate_exposition("m 1.5e3\n").is_ok());
+    }
 }

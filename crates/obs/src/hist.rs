@@ -48,6 +48,22 @@ pub fn bucket_bounds(i: usize) -> (f64, f64) {
     }
 }
 
+/// Exemplar slots retained per histogram (the largest-valued recordings
+/// that carried a trace id).
+pub const MAX_EXEMPLARS: usize = 4;
+
+/// One traced recording attached to a histogram: a concrete request id a
+/// human can pull up to explain a tail-latency bucket.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exemplar {
+    /// The recorded value.
+    pub value: f64,
+    /// The trace id that produced it (never 0 — 0 marks an empty slot).
+    pub trace_id: u64,
+    /// Nanoseconds since process obs start, when recorded.
+    pub ts_ns: u64,
+}
+
 /// A log-bucketed histogram. Buckets answer "what order of magnitude",
 /// while `min`/`max`/`sum`/`count` stay exact so the mean and extremes
 /// are not quantized.
@@ -63,6 +79,9 @@ pub struct Histogram {
     pub max: f64,
     /// Per-bucket counts, indexed by [`bucket_index`].
     pub buckets: [u64; NUM_BUCKETS],
+    /// Up to [`MAX_EXEMPLARS`] largest traced recordings (`None` = empty
+    /// slot); kept top-by-value so tail latency always has a trace id.
+    pub exemplars: [Option<Exemplar>; MAX_EXEMPLARS],
 }
 
 impl Default for Histogram {
@@ -80,6 +99,7 @@ impl Histogram {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             buckets: [0; NUM_BUCKETS],
+            exemplars: [None; MAX_EXEMPLARS],
         }
     }
 
@@ -92,6 +112,55 @@ impl Histogram {
         self.max = self.max.max(v);
         // analyze:allow(panic, bucket_index is clamped to NUM_BUCKETS - 1)
         self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Records one value carrying a trace id, keeping the exemplar set
+    /// top-by-value: an empty slot is filled, otherwise the smallest
+    /// retained exemplar is replaced when `v` beats it. A `trace_id` of 0
+    /// (tracing disabled) records the value without an exemplar, so the
+    /// bucket counts — and therefore digests derived from them — are
+    /// identical with tracing on or off.
+    pub fn record_exemplar(&mut self, v: f64, trace_id: u64, ts_ns: u64) {
+        self.record(v);
+        if trace_id == 0 {
+            return;
+        }
+        let v = if v.is_nan() { 0.0 } else { v };
+        let mut weakest: Option<usize> = None;
+        for (i, slot) in self.exemplars.iter().enumerate() {
+            match slot {
+                None => {
+                    weakest = Some(i);
+                    break;
+                }
+                Some(e) => {
+                    let beats = match weakest.and_then(|w| self.exemplars.get(w).copied().flatten())
+                    {
+                        Some(w) => e.value < w.value,
+                        None => true,
+                    };
+                    if beats {
+                        weakest = Some(i);
+                    }
+                }
+            }
+        }
+        if let Some(i) = weakest {
+            if let Some(slot) = self.exemplars.get_mut(i) {
+                let replace = match slot {
+                    None => true,
+                    Some(e) => v >= e.value,
+                };
+                if replace {
+                    *slot = Some(Exemplar { value: v, trace_id, ts_ns });
+                }
+            }
+        }
+    }
+
+    /// The retained exemplars, in slot order.
+    pub fn exemplars(&self) -> impl Iterator<Item = Exemplar> + '_ {
+        self.exemplars.iter().filter_map(|e| *e)
     }
 
     /// Mean of recorded values, or 0.0 when empty.
@@ -267,6 +336,27 @@ mod tests {
             assert!((0.25..=(2f64).powi(70)).contains(&est), "q={q} → {est}");
         }
         assert_eq!(h.quantile(1.0), (2f64).powi(70));
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_traced_values() {
+        let mut h = Histogram::new();
+        // Untraced recording: counted, no exemplar.
+        h.record_exemplar(1e9, 0, 1);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.exemplars().count(), 0);
+        // Fill all slots, then push values that displace the smallest.
+        for (i, v) in [10.0, 20.0, 30.0, 40.0].iter().enumerate() {
+            h.record_exemplar(*v, i as u64 + 1, i as u64);
+        }
+        assert_eq!(h.exemplars().count(), MAX_EXEMPLARS);
+        h.record_exemplar(5.0, 99, 9); // smaller than every retained one
+        assert!(h.exemplars().all(|e| e.trace_id != 99), "must not displace larger");
+        h.record_exemplar(100.0, 77, 9);
+        let kept: Vec<u64> = h.exemplars().map(|e| e.trace_id).collect();
+        assert!(kept.contains(&77), "largest value must be retained: {kept:?}");
+        assert!(!kept.contains(&1), "smallest (10.0, id 1) displaced: {kept:?}");
+        assert_eq!(h.count, 7, "every call records into the population");
     }
 
     #[test]

@@ -27,19 +27,26 @@
 //! uninstrumented run — obs never reads RNG state or mutates tensors.
 
 mod env;
+mod flight;
 mod hist;
 mod metrics;
 mod report;
+mod slo;
 mod span;
 
 pub use env::{enabled, parse_bool_env, set_force, with_obs};
-pub use hist::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+pub use flight::{
+    flight_dump_to, flight_enabled, flight_jsonl, flight_record, flight_snapshot,
+    install_panic_dump, FlightKind, FlightRecord, Ring, FLIGHT_CAPACITY, MSG_MAX,
+};
+pub use hist::{bucket_bounds, bucket_index, Exemplar, Histogram, MAX_EXEMPLARS, NUM_BUCKETS};
 pub use metrics::{
-    counter_add, gauge_set, hist_record, series, series_vec, shape_record, warn, Event, ShapeKey,
-    MAX_SHAPE_KEYS,
+    counter_add, gauge_set, hist_record, hist_record_ex, series, series_vec, shape_record, warn,
+    Event, ShapeKey, MAX_SHAPE_KEYS,
 };
 pub use report::{ObsReport, SpanStat};
-pub use span::{adopt, current_path, span, AdoptGuard, SpanGuard, SpanPath};
+pub use slo::{SloConfig, SloEngine, SloStatus, WindowStat};
+pub use span::{adopt, current_path, now_ns, span, AdoptGuard, SpanGuard, SpanPath};
 
 /// Opens a span: `let _g = span!("epoch");`. Thin macro alias for the
 /// [`span`] function, for call sites that prefer the macro form.
@@ -71,6 +78,7 @@ pub fn drain() -> ObsReport {
         gauges: reg.gauges,
         hists: reg.hists,
         shapes: reg.shapes,
+        warns: reg.warns,
     }
 }
 
@@ -89,6 +97,7 @@ pub fn snapshot() -> ObsReport {
         gauges: reg.gauges,
         hists: reg.hists,
         shapes: reg.shapes,
+        warns: reg.warns,
     }
 }
 

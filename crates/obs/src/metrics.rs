@@ -76,6 +76,7 @@ pub(crate) struct Registry {
     pub(crate) gauges: BTreeMap<&'static str, f64>,
     pub(crate) hists: BTreeMap<&'static str, Histogram>,
     pub(crate) shapes: BTreeMap<ShapeKey, u64>,
+    pub(crate) warns: BTreeMap<&'static str, u64>,
 }
 
 fn registry() -> MutexGuard<'static, Registry> {
@@ -126,6 +127,21 @@ pub fn hist_record(name: &'static str, v: f64) {
     registry().hists.entry(name).or_default().record(v);
 }
 
+/// Records `v` into the histogram `name` with a trace-id exemplar: the
+/// value lands in the buckets exactly as [`hist_record`] would place it
+/// (bitwise-identical aggregates), and when `trace_id != 0` the
+/// recording is additionally retained as an [`crate::Exemplar`] if it is
+/// among the histogram's largest — so `/metrics` tail buckets carry a
+/// concrete request id to look up in `/debug/traces`.
+#[inline]
+pub fn hist_record_ex(name: &'static str, v: f64, trace_id: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts = now_ns();
+    registry().hists.entry(name).or_default().record_exemplar(v, trace_id, ts);
+}
+
 /// Records one execution of a kernel with the given shape. Aggregated per
 /// exact `(op, dims)` key and exported as `"type":"shape"` JSONL records —
 /// the replay input for the offline kernel tuner
@@ -170,10 +186,22 @@ pub fn series_vec(name: &'static str, step: u64, values: &[f64]) {
 /// `warnings_total` so run summaries surface it.
 pub fn warn(tag: &'static str, msg: &str) {
     eprintln!("autoac-{tag}: {msg}");
+    // The flight recorder is its own always-on system (gated only by
+    // AUTOAC_FLIGHT): a warning must survive into a post-mortem dump even
+    // when the metrics registry is off.
+    crate::flight::flight_record(
+        crate::flight::FlightKind::Warn,
+        0,
+        0,
+        &format!("{tag}: {msg}"),
+    );
     if !enabled() {
         return;
     }
-    *registry().counters.entry("warnings_total").or_insert(0) += 1;
+    let mut reg = registry();
+    *reg.counters.entry("warnings_total").or_insert(0) += 1;
+    *reg.warns.entry(tag).or_insert(0) += 1;
+    drop(reg);
     push_event(Event::Warn { tag, msg: msg.to_string(), ts_ns: now_ns() });
 }
 
@@ -258,5 +286,45 @@ mod tests {
         let rep = crate::drain();
         assert_eq!(rep.counter("warnings_total"), 1);
         assert_eq!(rep.events.len(), 1);
+        assert_eq!(rep.warns.get("test"), Some(&1), "per-tag count follows the gate");
+    }
+
+    #[test]
+    fn warns_aggregate_per_tag() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        with_obs(true, || {
+            warn("ckpt", "a");
+            warn("ckpt", "b");
+            warn("serve", "c");
+        });
+        let rep = crate::drain();
+        assert_eq!(rep.counter("warnings_total"), 3);
+        assert_eq!(rep.warns.get("ckpt"), Some(&2));
+        assert_eq!(rep.warns.get("serve"), Some(&1));
+    }
+
+    #[test]
+    fn hist_record_ex_matches_plain_record_population() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        with_obs(true, || {
+            hist_record("plain", 5.0);
+            hist_record_ex("traced", 5.0, 0xabc);
+            hist_record_ex("traced", 9.0, 0); // untraced recording
+        });
+        let rep = crate::drain();
+        let plain = rep.hists.get("plain").expect("plain");
+        let traced = rep.hists.get("traced").expect("traced");
+        assert_eq!(traced.count, 2);
+        assert_eq!(plain.buckets, {
+            let mut b = traced.buckets;
+            // Remove the second recording's bucket to compare the first.
+            b[crate::bucket_index(9.0)] -= 1;
+            b
+        });
+        let ex: Vec<_> = traced.exemplars().collect();
+        assert_eq!(ex.len(), 1, "only the traced recording leaves an exemplar");
+        assert_eq!(ex[0].trace_id, 0xabc);
     }
 }

@@ -16,9 +16,10 @@
 //! | `span`    | `path`, `depth`, `count`, `total_ns`, `self_ns`          |
 //! | `series`  | `name`, `step`, `values` (array), `ts_ns`                |
 //! | `warn`    | `tag`, `msg`, `ts_ns`                                    |
+//! | `warn_count` | `tag`, `value` (per-tag aggregate over the run)       |
 //! | `counter` | `name`, `value`                                          |
 //! | `gauge`   | `name`, `value`                                          |
-//! | `hist`    | `name`, `count`, `min`, `max`, `sum`, `buckets` (array of `[index, lo, hi, count]`, non-empty buckets only) |
+//! | `hist`    | `name`, `count`, `min`, `max`, `sum`, `buckets` (array of `[index, lo, hi, count]`, non-empty buckets only), `exemplars` (array of `[value, trace_id_hex, ts_ns]`) |
 //! | `shape`   | `op`, `m`, `k`, `n`, `nnz`, `count`                      |
 
 use std::collections::BTreeMap;
@@ -62,6 +63,9 @@ pub struct ObsReport {
     pub hists: BTreeMap<&'static str, Histogram>,
     /// Kernel shape execution counts (see [`crate::shape_record`]).
     pub shapes: BTreeMap<crate::ShapeKey, u64>,
+    /// Per-tag warning counts (see [`crate::warn`]); `warnings_total`
+    /// in `counters` is their sum.
+    pub warns: BTreeMap<&'static str, u64>,
 }
 
 impl ObsReport {
@@ -88,6 +92,7 @@ impl ObsReport {
             && self.gauges.is_empty()
             && self.hists.is_empty()
             && self.shapes.is_empty()
+            && self.warns.is_empty()
     }
 
     /// Renders the human span tree: indentation mirrors nesting, with
@@ -149,9 +154,28 @@ impl ObsReport {
                 buckets.push_str(&format!("[{i},{},{},{}]", jnum(lo), jnum(hi), h.buckets[i]));
             }
             buckets.push(']');
+            let mut exemplars = String::from("[");
+            for e in h.exemplars() {
+                if exemplars.len() > 1 {
+                    exemplars.push(',');
+                }
+                exemplars.push_str(&format!(
+                    "[{},\"{:016x}\",{}]",
+                    jnum(e.value),
+                    e.trace_id,
+                    e.ts_ns
+                ));
+            }
+            exemplars.push(']');
             out.push_str(&format!(
-                "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":{buckets}}}\n",
+                "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":{buckets},\"exemplars\":{exemplars}}}\n",
                 jstr(name), h.count, jnum(h.min), jnum(h.max), jnum(h.sum)
+            ));
+        }
+        for (tag, v) in &self.warns {
+            out.push_str(&format!(
+                "{{\"type\":\"warn_count\",\"tag\":{},\"value\":{v}}}\n",
+                jstr(tag)
             ));
         }
         for (key, count) in &self.shapes {
@@ -212,8 +236,27 @@ impl ObsReport {
             let n = prom_name(name);
             out.push_str(&format!("# TYPE autoac_{n} gauge\nautoac_{n} {}\n", jnum(*v)));
         }
+        if !self.warns.is_empty() {
+            // One family, one series per tag — not one family per tag.
+            out.push_str("# TYPE autoac_warnings counter\n");
+            for (tag, v) in &self.warns {
+                out.push_str(&format!("autoac_warnings{{tag=\"{}\"}} {v}\n", prom_name(tag)));
+            }
+        }
         for (name, h) in &self.hists {
             let n = prom_name(name);
+            // Largest exemplar per bucket, attached OpenMetrics-style
+            // (` # {trace_id="…"} value`) to that bucket's line.
+            let mut bucket_ex: [Option<crate::Exemplar>; NUM_BUCKETS] = [None; NUM_BUCKETS];
+            for e in h.exemplars() {
+                let bi = crate::bucket_index(e.value);
+                if let Some(slot) = bucket_ex.get_mut(bi) {
+                    let replace = slot.is_none_or(|prev| e.value >= prev.value);
+                    if replace {
+                        *slot = Some(e);
+                    }
+                }
+            }
             out.push_str(&format!("# TYPE autoac_{n} histogram\n"));
             let mut cum = 0u64;
             for i in 0..NUM_BUCKETS {
@@ -225,7 +268,13 @@ impl ObsReport {
                 cum += h.buckets[i];
                 let (_, hi) = bucket_bounds(i);
                 let le = if hi.is_infinite() { "+Inf".to_string() } else { jnum(hi) };
-                out.push_str(&format!("autoac_{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+                let ex = bucket_ex
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .map(|e| format!(" # {{trace_id=\"{:016x}\"}} {}", e.trace_id, jnum(e.value)))
+                    .unwrap_or_default();
+                out.push_str(&format!("autoac_{n}_bucket{{le=\"{le}\"}} {cum}{ex}\n"));
             }
             out.push_str(&format!("autoac_{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("autoac_{n}_sum {}\n", jnum(h.sum)));
@@ -289,7 +338,7 @@ pub(crate) fn build_spans(g: &crate::span::Global) -> Vec<SpanStat> {
 }
 
 /// JSON string literal with escaping (quotes, backslash, control chars).
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -333,7 +382,7 @@ mod tests {
         let mut hists = BTreeMap::new();
         let mut h = Histogram::new();
         h.record(3.0);
-        h.record(1000.0);
+        h.record_exemplar(1000.0, 0xbeef, 42);
         hists.insert("lat", h);
         ObsReport {
             spans: vec![
@@ -362,6 +411,7 @@ mod tests {
                 crate::ShapeKey { op: "matmul", dims: [8, 4, 8, 0] },
                 2u64,
             )]),
+            warns: BTreeMap::from([("ckpt", 1u64)]),
         }
     }
 
@@ -369,8 +419,13 @@ mod tests {
     fn jsonl_escapes_and_lists_every_record_type() {
         let rep = sample_report();
         let text = rep.to_jsonl("unit");
-        assert!(text.lines().count() == 1 + 2 + 1 + 1 + 1 + 1 + 1, "{text}");
+        assert!(text.lines().count() == 1 + 2 + 1 + 1 + 1 + 1 + 1 + 1, "{text}");
         assert!(text.contains(r#""type":"meta","run":"unit""#));
+        assert!(text.contains(r#""type":"warn_count","tag":"ckpt","value":1"#), "{text}");
+        assert!(
+            text.contains(r#""exemplars":[[1000.0,"000000000000beef",42]]"#),
+            "hist exemplars serialized: {text}"
+        );
         assert!(
             text.contains(r#""type":"shape","op":"matmul","m":8,"k":4,"n":8,"nnz":0,"count":2"#),
             "{text}"
@@ -413,6 +468,28 @@ mod tests {
         assert!(prom.contains("autoac_lat_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("autoac_lat_count 2"));
         assert!(prom.contains("autoac_span_total_ns{path=\"search_epoch\"}"));
+    }
+
+    #[test]
+    fn prom_dump_emits_one_warning_family_with_tag_labels() {
+        let rep = sample_report();
+        let prom = rep.prom_dump();
+        assert_eq!(prom.matches("# TYPE autoac_warnings counter").count(), 1, "{prom}");
+        assert!(prom.contains("autoac_warnings{tag=\"ckpt\"} 1"), "{prom}");
+    }
+
+    #[test]
+    fn prom_dump_attaches_exemplars_to_bucket_lines() {
+        let rep = sample_report();
+        let prom = rep.prom_dump();
+        assert!(
+            prom.contains(
+                "autoac_lat_bucket{le=\"1024.0\"} 2 # {trace_id=\"000000000000beef\"} 1000.0"
+            ),
+            "{prom}"
+        );
+        // The untraced bucket stays bare.
+        assert!(prom.contains("autoac_lat_bucket{le=\"4.0\"} 1\n"), "{prom}");
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Rolling SLO tracking with multi-window burn-rate alerting.
+//!
+//! One [`SloEngine`] tracks a single latency/availability objective: a
+//! request is **bad** when it errored (5xx) or exceeded the latency
+//! objective. Observations are bucketed into fixed wall-clock ticks
+//! (default 1 s) held in a ring of [`cfg.slow_ticks`](SloConfig) slots, so
+//! memory is fixed and old ticks expire by overwrite.
+//!
+//! The alert rule is the classic multi-window, multi-burn-rate pair from
+//! SRE practice: the **burn rate** of a window is
+//! `bad_rate / (1 - availability_target)` — how many times faster than
+//! "exactly exhausting the error budget" the service is burning — and the
+//! alert fires only when *both* the fast window (default 60 ticks) and
+//! the slow window (default 300 ticks) exceed their thresholds. The fast
+//! window gives detection latency; the slow window keeps a brief spike
+//! from paging.
+//!
+//! Everything is computed from the same power-of-two [`Histogram`]s the
+//! rest of obs uses, so `/slo` quantiles agree with `/metrics` quantiles
+//! by construction.
+
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use crate::metrics::gauge_set;
+use crate::span::now_ns;
+
+/// SLO objective and evaluation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Latency objective in nanoseconds; a slower request is "bad".
+    pub latency_objective_ns: f64,
+    /// Availability target in `[0, 1)`, e.g. `0.999`. The error budget is
+    /// `1 - target`.
+    pub availability_target: f64,
+    /// Tick width in nanoseconds (observations bucket by `now / tick_ns`).
+    pub tick_ns: u64,
+    /// Fast-window length in ticks (detection).
+    pub fast_ticks: usize,
+    /// Slow-window length in ticks (confirmation); also the ring size.
+    pub slow_ticks: usize,
+    /// Burn-rate threshold the fast window must exceed.
+    pub burn_fast: f64,
+    /// Burn-rate threshold the slow window must exceed.
+    pub burn_slow: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            latency_objective_ns: 25_000_000.0, // 25 ms
+            availability_target: 0.999,
+            tick_ns: 1_000_000_000,
+            fast_ticks: 60,
+            slow_ticks: 300,
+            burn_fast: 14.4,
+            burn_slow: 6.0,
+        }
+    }
+}
+
+/// Aggregates for one tick.
+#[derive(Clone)]
+struct Tick {
+    tick: u64,
+    total: u64,
+    errors: u64,
+    bad: u64,
+    hist: Histogram,
+}
+
+impl Tick {
+    fn fresh(tick: u64) -> Tick {
+        Tick { tick, total: 0, errors: 0, bad: 0, hist: Histogram::new() }
+    }
+}
+
+/// Aggregated statistics over one evaluation window.
+#[derive(Clone, Debug)]
+pub struct WindowStat {
+    /// Window length in ticks.
+    pub ticks: usize,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// Requests that errored *or* missed the latency objective.
+    pub bad: u64,
+    /// `errors / total` (0 when empty).
+    pub error_rate: f64,
+    /// `bad / total` (0 when empty).
+    pub bad_rate: f64,
+    /// `bad_rate / (1 - target)`: 1.0 burns the budget exactly.
+    pub burn_rate: f64,
+    /// Median latency over the window, ns (NaN when empty).
+    pub p50_ns: f64,
+    /// 90th-percentile latency, ns (NaN when empty).
+    pub p90_ns: f64,
+    /// 99th-percentile latency, ns (NaN when empty).
+    pub p99_ns: f64,
+}
+
+/// One full SLO evaluation: both windows plus the alert decision.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// The latency objective evaluated against, ns.
+    pub objective_ns: f64,
+    /// The availability target.
+    pub target: f64,
+    /// Fast-window statistics.
+    pub fast: WindowStat,
+    /// Slow-window statistics.
+    pub slow: WindowStat,
+    /// Fast-window burn threshold.
+    pub burn_fast_threshold: f64,
+    /// Slow-window burn threshold.
+    pub burn_slow_threshold: f64,
+    /// True when both windows exceed their burn thresholds.
+    pub firing: bool,
+}
+
+/// Rolling multi-window SLO tracker. All methods take `&self`; a single
+/// mutex guards the tick ring (held only for O(ring) work, never I/O).
+pub struct SloEngine {
+    cfg: SloConfig,
+    ring: Mutex<Vec<Tick>>,
+}
+
+impl SloEngine {
+    /// An engine with the given objective; the ring holds
+    /// `cfg.slow_ticks` ticks.
+    pub fn new(cfg: SloConfig) -> SloEngine {
+        let len = cfg.slow_ticks.max(1);
+        SloEngine { cfg, ring: Mutex::new((0..len).map(|_| Tick::fresh(u64::MAX)).collect()) }
+    }
+
+    /// The configuration this engine evaluates.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Records one request outcome at the current wall-clock tick.
+    pub fn observe(&self, latency_ns: f64, is_error: bool) {
+        self.observe_at(now_ns() / self.cfg.tick_ns.max(1), latency_ns, is_error);
+    }
+
+    /// Records one request outcome at an explicit tick (deterministic
+    /// seam for tests and offline replay of trace logs).
+    pub fn observe_at(&self, tick: u64, latency_ns: f64, is_error: bool) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let len = ring.len().max(1);
+        let Some(slot) = ring.get_mut((tick % len as u64) as usize) else {
+            return;
+        };
+        if slot.tick != tick {
+            *slot = Tick::fresh(tick); // overwrite an expired tick
+        }
+        slot.total += 1;
+        if is_error {
+            slot.errors += 1;
+        }
+        if is_error || latency_ns > self.cfg.latency_objective_ns {
+            slot.bad += 1;
+        }
+        slot.hist.record(latency_ns);
+    }
+
+    /// Evaluates both windows as of the current wall-clock tick.
+    pub fn status(&self) -> SloStatus {
+        self.status_at(now_ns() / self.cfg.tick_ns.max(1))
+    }
+
+    /// Evaluates both windows as of an explicit tick.
+    pub fn status_at(&self, tick: u64) -> SloStatus {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let window = |ticks: usize| {
+            let mut total = 0u64;
+            let mut errors = 0u64;
+            let mut bad = 0u64;
+            let mut hist = Histogram::new();
+            for slot in ring.iter() {
+                // In-window: tick - ticks < slot.tick <= tick.
+                if slot.tick <= tick && slot.tick.saturating_add(ticks as u64) > tick {
+                    total += slot.total;
+                    errors += slot.errors;
+                    bad += slot.bad;
+                    merge_hist(&mut hist, &slot.hist);
+                }
+            }
+            let rate = |n: u64| if total == 0 { 0.0 } else { n as f64 / total as f64 };
+            let budget = (1.0 - self.cfg.availability_target).max(f64::MIN_POSITIVE);
+            WindowStat {
+                ticks,
+                total,
+                errors,
+                bad,
+                error_rate: rate(errors),
+                bad_rate: rate(bad),
+                burn_rate: rate(bad) / budget,
+                p50_ns: hist.quantile(0.5),
+                p90_ns: hist.quantile(0.9),
+                p99_ns: hist.quantile(0.99),
+            }
+        };
+        let fast = window(self.cfg.fast_ticks.max(1));
+        let slow = window(self.cfg.slow_ticks.max(1));
+        let firing = fast.total > 0
+            && slow.total > 0
+            && fast.burn_rate >= self.cfg.burn_fast
+            && slow.burn_rate >= self.cfg.burn_slow;
+        SloStatus {
+            objective_ns: self.cfg.latency_objective_ns,
+            target: self.cfg.availability_target,
+            fast,
+            slow,
+            burn_fast_threshold: self.cfg.burn_fast,
+            burn_slow_threshold: self.cfg.burn_slow,
+            firing,
+        }
+    }
+
+    /// Evaluates the current status and publishes it as `slo_*` gauges in
+    /// the metrics registry, so `prom_dump` exports burn rates alongside
+    /// the latency histograms. NaN quantiles (empty windows) publish as 0
+    /// — Prometheus exposition has no `null`.
+    pub fn export_gauges(&self) -> SloStatus {
+        let s = self.status();
+        let fin = |v: f64| if v.is_finite() { v } else { 0.0 };
+        gauge_set("slo_burn_rate_fast", fin(s.fast.burn_rate));
+        gauge_set("slo_burn_rate_slow", fin(s.slow.burn_rate));
+        gauge_set("slo_bad_rate_fast", fin(s.fast.bad_rate));
+        gauge_set("slo_bad_rate_slow", fin(s.slow.bad_rate));
+        gauge_set("slo_error_rate_fast", fin(s.fast.error_rate));
+        gauge_set("slo_p50_ns_fast", fin(s.fast.p50_ns));
+        gauge_set("slo_p99_ns_fast", fin(s.fast.p99_ns));
+        gauge_set("slo_error_budget_remaining", fin((1.0 - s.slow.burn_rate).max(0.0)));
+        gauge_set("slo_alert_firing", if s.firing { 1.0 } else { 0.0 });
+        s
+    }
+}
+
+/// Adds `src`'s population into `dst` (bucket-wise; exemplars are not
+/// merged — SLO windows only need quantiles).
+fn merge_hist(dst: &mut Histogram, src: &Histogram) {
+    if src.count == 0 {
+        return;
+    }
+    dst.count += src.count;
+    dst.sum += src.sum;
+    dst.min = dst.min.min(src.min);
+    dst.max = dst.max.max(src.max);
+    for (d, s) in dst.buckets.iter_mut().zip(src.buckets.iter()) {
+        *d += *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_objective_ns: 1000.0,
+            availability_target: 0.9, // budget = 0.1
+            tick_ns: 1,
+            fast_ticks: 5,
+            slow_ticks: 20,
+            burn_fast: 3.0,
+            burn_slow: 2.0,
+        }
+    }
+
+    #[test]
+    fn burn_rate_is_bad_rate_over_budget() {
+        let e = SloEngine::new(cfg());
+        // Tick 10: 8 good, 2 over-objective → bad_rate 0.2, burn 2.0.
+        for _ in 0..8 {
+            e.observe_at(10, 100.0, false);
+        }
+        for _ in 0..2 {
+            e.observe_at(10, 5000.0, false);
+        }
+        let s = e.status_at(10);
+        assert_eq!(s.fast.total, 10);
+        assert_eq!(s.fast.bad, 2);
+        assert!((s.fast.bad_rate - 0.2).abs() < 1e-12);
+        assert!((s.fast.burn_rate - 2.0).abs() < 1e-9, "burn={}", s.fast.burn_rate);
+        assert_eq!(s.fast.errors, 0);
+        assert!(!s.firing, "burn 2.0 < fast threshold 3.0");
+    }
+
+    #[test]
+    fn errors_count_as_bad_regardless_of_latency() {
+        let e = SloEngine::new(cfg());
+        e.observe_at(3, 10.0, true);
+        e.observe_at(3, 10.0, false);
+        let s = e.status_at(3);
+        assert_eq!((s.fast.errors, s.fast.bad), (1, 1));
+        assert!((s.fast.error_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alert_needs_both_windows_over_threshold() {
+        let e = SloEngine::new(cfg());
+        // Old ticks (0..10): all good → slow window diluted.
+        for t in 0..10u64 {
+            for _ in 0..10 {
+                e.observe_at(t, 1.0, false);
+            }
+        }
+        // Recent ticks (16..20): everything bad → fast window saturated.
+        for t in 16..20u64 {
+            for _ in 0..10 {
+                e.observe_at(t, 1.0, true);
+            }
+        }
+        let s = e.status_at(19);
+        // Fast window [15..19]: 40/40 bad → burn 10 ≥ 3.
+        assert!(s.fast.burn_rate >= 3.0, "fast burn {}", s.fast.burn_rate);
+        // Slow window [0..19]: 40/140 bad → burn ~2.857 ≥ 2 → fires.
+        assert!(s.firing, "slow burn {}", s.slow.burn_rate);
+
+        // A brief spike alone must NOT fire: good traffic everywhere,
+        // one bad tick.
+        let e2 = SloEngine::new(cfg());
+        for t in 0..19u64 {
+            for _ in 0..50 {
+                e2.observe_at(t, 1.0, false);
+            }
+        }
+        for _ in 0..50 {
+            e2.observe_at(19, 1.0, true);
+        }
+        let s2 = e2.status_at(19);
+        assert!(s2.fast.burn_rate >= 2.0, "spike dominates the fast window");
+        assert!(!s2.firing, "slow burn {} must hold the alert back", s2.slow.burn_rate);
+    }
+
+    #[test]
+    fn expired_ticks_fall_out_of_the_window() {
+        let e = SloEngine::new(cfg());
+        for _ in 0..10 {
+            e.observe_at(0, 1.0, true);
+        }
+        assert_eq!(e.status_at(0).slow.total, 10);
+        // 20 ticks later the ring slot has expired (slow window is 20).
+        assert_eq!(e.status_at(20).slow.total, 0);
+        // And writing at tick 20 overwrites the stale slot, not merges.
+        e.observe_at(20, 1.0, false);
+        let s = e.status_at(20);
+        assert_eq!((s.slow.total, s.slow.bad), (1, 0));
+    }
+
+    #[test]
+    fn quantiles_come_from_the_merged_window_histogram() {
+        let e = SloEngine::new(cfg());
+        for t in 0..5u64 {
+            e.observe_at(t, 100.0, false);
+            e.observe_at(t, 900.0, false);
+        }
+        let s = e.status_at(4);
+        assert_eq!(s.fast.total, 10);
+        assert!(s.fast.p50_ns.is_finite() && s.fast.p50_ns >= 100.0);
+        assert!(s.fast.p99_ns <= 900.0 + 1e-9, "p99 {} clamps to max", s.fast.p99_ns);
+        // Empty window → NaN quantiles, 0 burn.
+        let empty = e.status_at(1000);
+        assert!(empty.fast.p50_ns.is_nan());
+        assert_eq!(empty.fast.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn export_gauges_publishes_finite_values() {
+        let _serial = crate::test_lock();
+        let _ = crate::drain();
+        let e = SloEngine::new(cfg());
+        let _ = crate::with_obs(true, || e.export_gauges());
+        let rep = crate::drain();
+        for name in [
+            "slo_burn_rate_fast",
+            "slo_burn_rate_slow",
+            "slo_p50_ns_fast",
+            "slo_error_budget_remaining",
+            "slo_alert_firing",
+        ] {
+            let v = rep.gauges.get(name).copied();
+            assert!(v.is_some_and(f64::is_finite), "{name} = {v:?}");
+        }
+    }
+}

@@ -66,8 +66,10 @@ fn start_instant() -> &'static Instant {
 }
 
 /// Nanoseconds since the first obs call in this process; used to order
-/// events from different threads in the JSONL output.
-pub(crate) fn now_ns() -> u64 {
+/// events from different threads in the JSONL output, and exported for
+/// the serving layer's trace timelines and flight-recorder timestamps so
+/// every subsystem shares one clock anchor.
+pub fn now_ns() -> u64 {
     start_instant().elapsed().as_nanos() as u64
 }
 

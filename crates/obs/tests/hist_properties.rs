@@ -68,4 +68,40 @@ proptest! {
         prop_assert!(in_bucket(first, min));
         prop_assert!(in_bucket(last, max));
     }
+
+    /// Pins `quantile`'s error bound: the estimate may interpolate, but it
+    /// can never leave the power-of-two bucket holding the true order
+    /// statistic (clamped to the recorded `[min, max]`). This is the
+    /// contract `/metrics` p50/p90/p99 gauges and the SLO windows rely on.
+    #[test]
+    fn quantile_stays_within_the_order_statistics_bucket(
+        values in vec(0.0f64..1e12, 1..128),
+        // Over-generate past 1.0 to exercise the q-clamping path too.
+        qs in vec(0.0f64..1.25, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        for &q in &qs {
+            let est = h.quantile(q);
+            let q = q.clamp(0.0, 1.0);
+            // The implementation walks to continuous rank q*(n-1)+1; the
+            // occupant at ceil(rank) is the true order statistic whose
+            // bucket the estimate interpolates within.
+            let target = q * (n as f64 - 1.0) + 1.0;
+            let rank = (target.ceil() as usize).clamp(1, n);
+            let stat = sorted[rank - 1];
+            let (lo, hi) = bucket_bounds(bucket_index(stat));
+            let lo = lo.max(sorted[0]);
+            let hi = hi.min(sorted[n - 1]);
+            prop_assert!(
+                est >= lo && est <= hi,
+                "q={} est={} order-stat={} allowed=[{}, {}]", q, est, stat, lo, hi
+            );
+        }
+    }
 }

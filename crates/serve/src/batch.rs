@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use autoac_ckpt::ServeState;
 use autoac_core::ServeStateInfo;
-use autoac_obs::{counter_add, hist_record};
+use autoac_obs::{counter_add, flight_record, hist_record, now_ns, FlightKind};
 
 use crate::host::{ModelHost, ViewSlot};
 
@@ -65,6 +65,24 @@ pub struct ClassifyReply {
     pub ckpt: String,
     /// One entry per requested node, in request order.
     pub rows: Vec<NodeScore>,
+    /// Model-thread stage timing for this job (trace timeline input).
+    pub timing: JobTiming,
+}
+
+/// Where a classify job's time went inside the model thread, in
+/// nanoseconds on the `autoac_obs::now_ns` clock. Rides back to the
+/// worker on [`ClassifyReply`] so the request timeline and the stage
+/// histograms are built from the model thread's own measurements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobTiming {
+    /// Enqueue → dequeued by the model thread (channel wait).
+    pub queue_ns: u64,
+    /// Dequeued → batch forward started (coalescing wait).
+    pub batch_wait_ns: u64,
+    /// The batch's single forward, attributed whole to every member.
+    pub compute_ns: u64,
+    /// How many classify jobs shared the forward.
+    pub batch_size: usize,
 }
 
 /// Work item for the model thread. Node ids are validated worker-side
@@ -77,6 +95,10 @@ pub enum Job {
         nodes: Vec<usize>,
         /// Where the (single) reply goes.
         reply: Sender<ClassifyReply>,
+        /// Originating request's trace id (0 = untraced).
+        trace_id: u64,
+        /// `autoac_obs::now_ns()` at enqueue, for queue-wait attribution.
+        enqueued_ns: u64,
     },
     /// Swap in a new checkpoint between batches.
     Reload {
@@ -116,49 +138,78 @@ pub fn run_model_thread(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let mut batch = Vec::new();
+        // One queued classify job plus its model-thread arrival stamp.
+        struct Pending {
+            nodes: Vec<usize>,
+            reply: Sender<ClassifyReply>,
+            trace_id: u64,
+            enqueued_ns: u64,
+            dequeued_ns: u64,
+        }
+        let mut batch: Vec<Pending> = Vec::new();
         let mut admin = Vec::new();
         match first {
-            Job::Classify { nodes, reply } => batch.push((nodes, reply)),
+            Job::Classify { nodes, reply, trace_id, enqueued_ns } => {
+                batch.push(Pending { nodes, reply, trace_id, enqueued_ns, dequeued_ns: now_ns() })
+            }
             Job::Reload { state, reply } => {
                 let _ = reply.send(host.reload(&state));
                 continue;
             }
         }
+        // Why this batch stopped collecting, for the flight recorder.
+        let mut flush_reason = "unbatched";
+        let mut window_us = 0u64;
         if cfg.batching {
             let scale = (ewma / cfg.batch_max.max(1) as f64).min(1.0);
-            let deadline =
-                Instant::now() + Duration::from_micros((cfg.flush_us as f64 * scale).ceil() as u64);
+            window_us = (cfg.flush_us as f64 * scale).ceil() as u64;
+            let deadline = Instant::now() + Duration::from_micros(window_us);
+            flush_reason = "full";
             while batch.len() < cfg.batch_max {
                 match jobs.try_recv() {
-                    Ok(Job::Classify { nodes, reply }) => batch.push((nodes, reply)),
+                    Ok(Job::Classify { nodes, reply, trace_id, enqueued_ns }) => batch.push(
+                        Pending { nodes, reply, trace_id, enqueued_ns, dequeued_ns: now_ns() },
+                    ),
                     Ok(job) => {
                         // Stop collecting: run what we have, then apply.
                         admin.push(job);
+                        flush_reason = "admin";
                         break;
                     }
                     Err(TryRecvError::Empty) => {
                         if Instant::now() >= deadline {
+                            flush_reason = "deadline";
                             break;
                         }
                         std::thread::sleep(Duration::from_micros(20));
                     }
-                    Err(TryRecvError::Disconnected) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        flush_reason = "disconnect";
+                        break;
+                    }
                 }
             }
         }
         ewma = 0.8 * ewma + 0.2 * batch.len() as f64;
+        flight_record(FlightKind::Flush, batch.len() as u64, window_us, flush_reason);
 
-        // One full-graph forward answers every request in the batch.
+        // One full-graph forward answers every request in the batch. Its
+        // latency exemplar points at the first traced member, so a slow
+        // forward in /metrics links straight to a /debug/traces timeline.
+        let exemplar_trace = batch.iter().map(|p| p.trace_id).find(|&t| t != 0).unwrap_or(0);
+        let fwd_start_ns = now_ns();
         let t0 = Instant::now();
         let logits = host.model().logits();
-        hist_record("serve_forward_ns", t0.elapsed().as_nanos() as f64);
+        let compute_ns = t0.elapsed().as_nanos() as u64;
+        autoac_obs::hist_record_ex("serve_forward_ns", compute_ns as f64, exemplar_trace);
         hist_record("serve_batch_size", batch.len() as f64);
         counter_add("serve_batches_total", 1);
         counter_add("serve_batched_requests_total", batch.len() as u64);
+        let batch_size = batch.len();
         let ckpt = &host.model().info().config_fp_hex;
-        for (nodes, reply) in batch {
-            let rows = nodes
+        for p in batch {
+            let rows = p
+                .nodes
                 .iter()
                 .map(|&n| NodeScore {
                     node: n,
@@ -166,9 +217,15 @@ pub fn run_model_thread(
                     logits: logits.row(n).to_vec(),
                 })
                 .collect();
+            let timing = JobTiming {
+                queue_ns: p.dequeued_ns.saturating_sub(p.enqueued_ns),
+                batch_wait_ns: fwd_start_ns.saturating_sub(p.dequeued_ns),
+                compute_ns,
+                batch_size,
+            };
             // A send failure only means the requesting worker gave up
             // (client disconnect); nothing to do.
-            let _ = reply.send(ClassifyReply { ckpt: ckpt.clone(), rows });
+            let _ = p.reply.send(ClassifyReply { ckpt: ckpt.clone(), rows, timing });
         }
         for job in admin {
             if let Job::Reload { state, reply } = job {

@@ -8,12 +8,15 @@
 //! # Serve a checkpoint:
 //! autoac_serve --checkpoint ckpt.bin [--addr 127.0.0.1:0] [--workers 4]
 //!              [--batch-max 64] [--flush-us 200] [--no-batching]
-//!              [--port-file PATH]
+//!              [--port-file PATH] [--flight-dir DIR] [--run NAME]
+//!              [--trace-seed N]
 //! ```
 //!
 //! `--port-file` writes the actual bound `host:port` (useful with port 0)
 //! so shell scripts can wait for readiness and find the server. Shutdown:
-//! SIGINT/SIGTERM or `POST /admin/shutdown`, both graceful.
+//! SIGINT/SIGTERM or `POST /admin/shutdown`, both graceful — and both
+//! leave a flight-recorder dump (`FLIGHT_<run>.jsonl` under
+//! `--flight-dir`, default `results/`) behind, as does a panic.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -26,7 +29,8 @@ fn usage() -> ! {
         "usage: autoac_serve --train-out PATH [--preset P --scale S --backbone B \
          --data-seed N --seed N --epochs N]\n\
          \x20      autoac_serve --checkpoint PATH [--addr A --workers N --batch-max N \
-         --flush-us N --no-batching --port-file PATH]"
+         --flush-us N --no-batching --port-file PATH --flight-dir DIR --run NAME \
+         --trace-seed N]"
     );
     exit(2);
 }
@@ -65,6 +69,9 @@ fn main() {
             "--batch-max" => cfg.batch.batch_max = parse_num(&value(), "--batch-max") as usize,
             "--flush-us" => cfg.batch.flush_us = parse_num(&value(), "--flush-us"),
             "--no-batching" => cfg.batch.batching = false,
+            "--flight-dir" => cfg.flight_dir = PathBuf::from(value()),
+            "--run" => cfg.run = value(),
+            "--trace-seed" => cfg.trace_seed = parse_num(&value(), "--trace-seed"),
             _ => usage(),
         }
     }
@@ -108,6 +115,8 @@ fn serve(ckpt: &std::path::Path, cfg: &ServeConfig, port_file: Option<&std::path
         exit(1);
     });
     signals::install();
+    // A crash must leave the flight ring on disk for the post-mortem.
+    autoac_obs::install_panic_dump(&cfg.flight_dir, &cfg.run);
     let server = Server::start(state, cfg).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         exit(1);
@@ -130,5 +139,12 @@ fn serve(ckpt: &std::path::Path, cfg: &ServeConfig, port_file: Option<&std::path
         cfg.batch.flush_us,
     );
     server.join();
+    // The SIGTERM/SIGINT path ends here too (signals::install routes the
+    // signal into the graceful-shutdown flag), so every clean exit leaves
+    // the same post-mortem artifact a panic would.
+    match autoac_obs::flight_dump_to(&cfg.flight_dir, &cfg.run) {
+        Ok((path, records)) => println!("flight dump: {} ({records} records)", path.display()),
+        Err(e) => eprintln!("flight dump failed: {e}"),
+    }
     println!("shut down cleanly");
 }

@@ -15,11 +15,13 @@ pub struct Client {
     buf: Vec<u8>,
 }
 
-/// A parsed response: status code and body.
+/// A parsed response: status code, headers, and body.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Body bytes, decoded per `Content-Length`.
     pub body: Vec<u8>,
 }
@@ -28,6 +30,18 @@ impl Response {
     /// Body as UTF-8 (lossy).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header with this name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let needle = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == needle).map(|(_, v)| v.as_str())
+    }
+
+    /// The request's trace id from the `x-autoac-trace` echo header, when
+    /// the server traced it.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.header("x-autoac-trace").and_then(|v| u64::from_str_radix(v, 16).ok())
     }
 }
 
@@ -87,6 +101,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
@@ -94,6 +109,7 @@ impl Client {
                         io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
         let total = header_end + 4 + content_length;
@@ -110,6 +126,6 @@ impl Client {
         }
         let body = self.buf[header_end + 4..total].to_vec();
         self.buf.drain(..total);
-        Ok(Response { status, body })
+        Ok(Response { status, headers, body })
     }
 }

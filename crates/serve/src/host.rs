@@ -79,6 +79,12 @@ impl ModelHost {
     /// slot.
     pub fn new(state: &ServeState) -> Result<Self, String> {
         let model = InferenceModel::from_state(state).map_err(|e| e.to_string())?;
+        autoac_obs::flight_record(
+            autoac_obs::FlightKind::Lifecycle,
+            model.info().graph_fp,
+            0,
+            &format!("model loaded: {}", model.info().config_fp_hex),
+        );
         let slot = Arc::new(Mutex::new(Arc::new(SharedView::from_model(&model))));
         Ok(Self { model, slot })
     }
@@ -98,8 +104,21 @@ impl ModelHost {
     /// (identical structural fingerprint) so node ids keep their meaning
     /// across the swap; callers surface a violation as HTTP 409.
     pub fn reload(&mut self, state: &ServeState) -> Result<ServeStateInfo, String> {
-        let next = InferenceModel::from_state(state).map_err(|e| e.to_string())?;
+        use autoac_obs::{flight_record, FlightKind};
+        let next = match InferenceModel::from_state(state) {
+            Ok(m) => m,
+            Err(e) => {
+                flight_record(FlightKind::Reload, 0, 0, &format!("rejected: {e}"));
+                return Err(e.to_string());
+            }
+        };
         if next.info().graph_fp != self.model.info().graph_fp {
+            flight_record(
+                FlightKind::Reload,
+                self.model.info().graph_fp,
+                next.info().graph_fp,
+                "rejected: graph fingerprint mismatch",
+            );
             return Err(format!(
                 "graph fingerprint mismatch: serving {:016x}, checkpoint {:016x} — \
                  node ids would silently change meaning",
@@ -109,6 +128,12 @@ impl ModelHost {
         }
         let view = Arc::new(SharedView::from_model(&next));
         let info = next.info().clone();
+        flight_record(
+            FlightKind::Reload,
+            info.graph_fp,
+            0,
+            &format!("accepted: {}", info.config_fp_hex),
+        );
         self.model = next;
         *self.slot.lock().unwrap_or_else(|p| p.into_inner()) = view;
         Ok(info)

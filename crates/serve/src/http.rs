@@ -17,6 +17,8 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use crate::trace::{tracing_enabled, TraceIds};
+
 /// Maximum accepted size of the request line + headers.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum accepted `Content-Length`.
@@ -36,6 +38,12 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Request trace id minted at accept (0 = tracing disabled).
+    pub trace_id: u64,
+    /// `autoac_obs::now_ns()` when the request's first byte was seen.
+    pub t0_ns: u64,
+    /// First byte → fully parsed, in nanoseconds.
+    pub parse_ns: u64,
 }
 
 /// What [`read_request`] produced.
@@ -54,12 +62,28 @@ pub enum ReadOutcome {
 }
 
 /// Reads one request from `stream`, buffering into `buf` across calls
-/// (left-over bytes belong to the next pipelined request).
-pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<ReadOutcome> {
+/// (left-over bytes belong to the next pipelined request). A completed
+/// request leaves with its trace id minted from `ids` (0 when tracing is
+/// off) and its first-byte / parse timings stamped on the
+/// `autoac_obs::now_ns` clock.
+pub fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    ids: &TraceIds,
+) -> io::Result<ReadOutcome> {
     let started = Instant::now();
+    // Pipelined leftovers mean this request's bytes are already here.
+    let mut first_byte_ns = if buf.is_empty() { None } else { Some(autoac_obs::now_ns()) };
     let mut chunk = [0u8; 4096];
     loop {
         if let Some(outcome) = try_parse(buf)? {
+            if let ReadOutcome::Request(mut r) = outcome {
+                let t0 = first_byte_ns.unwrap_or_else(autoac_obs::now_ns);
+                r.t0_ns = t0;
+                r.parse_ns = autoac_obs::now_ns().saturating_sub(t0);
+                r.trace_id = if tracing_enabled() { ids.mint() } else { 0 };
+                return Ok(ReadOutcome::Request(r));
+            }
             return Ok(outcome);
         }
         if buf.len() > MAX_HEADER_BYTES && find_header_end(buf).is_none() {
@@ -73,8 +97,13 @@ pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Rea
                     Ok(ReadOutcome::Bad(400, "connection closed mid-request"))
                 };
             }
-            // analyze:allow(panic, Read::read returns n <= chunk.len() by contract)
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                if first_byte_ns.is_none() {
+                    first_byte_ns = Some(autoac_obs::now_ns());
+                }
+                // analyze:allow(panic, Read::read returns n <= chunk.len() by contract)
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
                 if buf.is_empty() {
                     return Ok(ReadOutcome::Idle);
@@ -147,6 +176,9 @@ fn try_parse(buf: &mut Vec<u8>) -> io::Result<Option<ReadOutcome>> {
         path: path.to_string(),
         body: buf[header_end + 4..total].to_vec(),
         keep_alive,
+        trace_id: 0,
+        t0_ns: 0,
+        parse_ns: 0,
     };
     buf.drain(..total);
     Ok(Some(ReadOutcome::Request(request)))
@@ -163,6 +195,7 @@ pub fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -177,13 +210,30 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus extra response headers (name, value) — the
+/// serving layer uses this to echo `x-autoac-trace` on traced requests.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> io::Result<()> {
     let mut msg = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra {
+        msg.push_str(&format!("{name}: {value}\r\n"));
+    }
+    msg.push_str("\r\n");
+    let mut msg = msg.into_bytes();
     // One write for the whole response: a head-only first segment would
     // sit in Nagle's buffer waiting for the peer's delayed ACK.
     msg.extend_from_slice(body);
@@ -209,8 +259,9 @@ mod tests {
             .expect("timeout");
         let mut buf = Vec::new();
         let mut out = Vec::new();
+        let ids = TraceIds::new(7);
         loop {
-            match read_request(&mut server, &mut buf).expect("read") {
+            match read_request(&mut server, &mut buf, &ids).expect("read") {
                 ReadOutcome::Closed => break,
                 o @ ReadOutcome::Bad(..) => {
                     out.push(o);
@@ -267,6 +318,34 @@ mod tests {
             roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")[..],
             [ReadOutcome::Bad(400, _)]
         ));
+    }
+
+    #[test]
+    fn minted_trace_ids_and_timings_ride_the_request() {
+        let _serial = crate::test_lock();
+        crate::trace::set_trace_force(Some(true));
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let out = roundtrip(raw);
+        crate::trace::set_trace_force(None);
+        let [ReadOutcome::Request(a), ReadOutcome::Request(b)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_ne!(a.trace_id, 0, "traced request mints a nonzero id");
+        assert_ne!(b.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id, "each request gets its own id");
+        assert!(a.t0_ns <= b.t0_ns, "first-byte stamps are monotone");
+    }
+
+    #[test]
+    fn disabled_tracing_leaves_trace_id_zero() {
+        let _serial = crate::test_lock();
+        crate::trace::set_trace_force(Some(false));
+        let out = roundtrip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        crate::trace::set_trace_force(None);
+        let [ReadOutcome::Request(r)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(r.trace_id, 0);
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! | `/v1/classify`     | POST   | node ids → logits + argmax labels (batched)    |
 //! | `/v1/attrs`        | POST   | node ids → completed attribute rows            |
 //! | `/healthz`         | GET    | liveness + loaded-checkpoint identity          |
-//! | `/metrics`         | GET    | Prometheus exposition text (obs registry)      |
+//! | `/metrics`         | GET    | Prometheus exposition text (obs registry, SLO gauges, exemplars) |
+//! | `/slo`             | GET    | burn-rate SLO status (fast + slow windows)     |
+//! | `/debug/traces`    | GET    | slowest request timelines as JSON              |
 //! | `/admin/reload`    | POST   | hot-swap to a new checkpoint (same graph only) |
 //! | `/admin/shutdown`  | POST   | graceful shutdown                              |
+//! | `/admin/flight`    | POST   | dump the flight-recorder ring to disk          |
 //!
 //! ## Determinism contract
 //!
@@ -45,8 +48,20 @@ pub mod client;
 pub mod host;
 pub mod http;
 pub mod server;
+pub mod trace;
 
-pub use batch::{BatchConfig, ClassifyReply, Job, NodeScore};
+pub use batch::{BatchConfig, ClassifyReply, Job, JobTiming, NodeScore};
+
+/// Serializes unit tests that touch process-global trace state (the
+/// `set_trace_force` switch shared by every test thread).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
 pub use client::{Client, Response};
 pub use host::{current_view, ModelHost, SharedView, ViewSlot};
 pub use server::{signals, ServeConfig, Server, ServerHandle, MAX_NODES_PER_REQUEST};
+pub use trace::{
+    set_trace_force, tracing_enabled, Timeline, TraceIds, TraceStore, TRACE_STORE_CAPACITY,
+};

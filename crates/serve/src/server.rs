@@ -31,14 +31,23 @@ use std::time::{Duration, Instant};
 
 use autoac_ckpt::ServeState;
 use autoac_data::json::{self, Value};
-use autoac_obs::{counter_add, hist_record, warn};
+use autoac_obs::{
+    counter_add, flight_record, hist_record_ex, now_ns, warn, FlightKind, SloConfig, SloEngine,
+};
 
-use crate::batch::{BatchConfig, Job};
+use crate::batch::{BatchConfig, Job, JobTiming};
 use crate::host::{current_view, SharedView, ViewSlot};
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{read_request, write_response, write_response_with, ReadOutcome, Request};
+use crate::trace::{tracing_enabled, Timeline, TraceIds, TraceStore};
 
 /// Upper bound on node ids per classify/attrs request.
 pub const MAX_NODES_PER_REQUEST: usize = 4096;
+
+/// How many timelines `GET /debug/traces` returns (the slowest retained).
+pub const DEBUG_TRACES_LIMIT: usize = 32;
+
+const JSON_CT: &str = "application/json";
+const PROM_CT: &str = "text/plain; version=0.0.4";
 
 /// Server settings.
 #[derive(Debug, Clone)]
@@ -49,11 +58,28 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Micro-batching knobs for the model thread.
     pub batch: BatchConfig,
+    /// Seed for the trace-id mint: ids are a pure function of this seed
+    /// and the accept order, independent of wall clock and OS entropy.
+    pub trace_seed: u64,
+    /// SLO objective and burn-rate windows for `/slo`.
+    pub slo: SloConfig,
+    /// Where `POST /admin/flight` writes `FLIGHT_<run>.jsonl`.
+    pub flight_dir: std::path::PathBuf,
+    /// Run label used in the flight dump filename and meta line.
+    pub run: String,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".into(), workers: 4, batch: BatchConfig::default() }
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            batch: BatchConfig::default(),
+            trace_seed: 0xa07a_c0de_0000_0001,
+            slo: SloConfig::default(),
+            flight_dir: std::path::PathBuf::from("results"),
+            run: "serve".into(),
+        }
     }
 }
 
@@ -101,6 +127,11 @@ struct Ctx {
     slot: ViewSlot,
     jobs: Sender<Job>,
     shutdown: Arc<AtomicBool>,
+    ids: Arc<TraceIds>,
+    traces: Arc<TraceStore>,
+    slo: Arc<SloEngine>,
+    flight_dir: Arc<std::path::PathBuf>,
+    run: Arc<String>,
 }
 
 impl Ctx {
@@ -133,6 +164,11 @@ impl Server {
         // `/metrics` is part of the serving contract, so the obs registry
         // must record regardless of AUTOAC_OBS in the environment.
         autoac_obs::set_force(Some(true));
+        // Strict-parse contract: malformed AUTOAC_TRACE / AUTOAC_FLIGHT
+        // abort here, at startup, not lazily on a worker thread
+        // mid-request.
+        let _ = tracing_enabled();
+        let _ = autoac_obs::flight_enabled();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -158,7 +194,22 @@ impl Server {
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let ctx = Ctx { slot, jobs: jobs_tx.clone(), shutdown: Arc::clone(&shutdown) };
+        let ctx = Ctx {
+            slot,
+            jobs: jobs_tx.clone(),
+            shutdown: Arc::clone(&shutdown),
+            ids: Arc::new(TraceIds::new(cfg.trace_seed)),
+            traces: Arc::new(TraceStore::new()),
+            slo: Arc::new(SloEngine::new(cfg.slo)),
+            flight_dir: Arc::new(cfg.flight_dir.clone()),
+            run: Arc::new(cfg.run.clone()),
+        };
+        flight_record(
+            FlightKind::Lifecycle,
+            0,
+            u64::from(addr.port()),
+            &format!("server ready on {addr}"),
+        );
 
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for i in 0..cfg.workers.max(1) {
@@ -219,6 +270,7 @@ impl Server {
         self.jobs = None;
         if let Some(h) = self.model.take() {
             let _ = h.join();
+            flight_record(FlightKind::Shutdown, 0, 0, "server stopped (all threads joined)");
         }
     }
 }
@@ -278,14 +330,17 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     }
     let mut buf = Vec::new();
     loop {
-        match read_request(&mut stream, &mut buf) {
+        match read_request(&mut stream, &mut buf, &ctx.ids) {
             Ok(ReadOutcome::Request(req)) => {
                 let keep = req.keep_alive;
                 if let Err(e) = route(&mut stream, &req, ctx) {
                     warn("serve", &format!("response write failed: {e}"));
                     return;
                 }
-                if !keep {
+                // A hammering keep-alive client never lets the stream go
+                // idle, so the stopping check must also sit here or a
+                // signal/`/admin/shutdown` could never finish joining.
+                if !keep || ctx.stopping() {
                     return;
                 }
             }
@@ -312,45 +367,168 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
 // Routing
 // ---------------------------------------------------------------------------
 
+/// The single request funnel: every route — success or error — leaves
+/// through one response write, so the trace timeline, the SLO observation,
+/// the flight-recorder request summary, and the latency exemplars are
+/// recorded for *every* request exactly once.
 fn route(stream: &mut TcpStream, req: &Request, ctx: &Ctx) -> io::Result<()> {
     counter_add("serve_requests_total", 1);
     let keep = req.keep_alive;
     let t0 = Instant::now();
-    let outcome = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/classify") => classify(req, ctx),
-        ("POST", "/v1/attrs") => attrs(req, ctx),
-        ("GET", "/healthz") => Ok(healthz(ctx)),
-        ("GET", "/metrics") => {
-            let text = autoac_obs::snapshot().prom_dump();
-            hist_record("serve_metrics_ns", t0.elapsed().as_nanos() as f64);
-            return write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes(), keep);
-        }
-        ("POST", "/admin/reload") => reload(req, ctx),
-        ("POST", "/admin/shutdown") => {
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            Ok(Value::Obj(vec![("ok".into(), Value::Bool(true))]))
-        }
-        (_, "/v1/classify" | "/v1/attrs" | "/admin/reload" | "/admin/shutdown") => {
-            Err((405, "use POST".to_string()))
-        }
-        (_, "/healthz" | "/metrics") => Err((405, "use GET".to_string())),
-        _ => Err((404, format!("no route for {}", req.path))),
-    };
-    match outcome {
-        Ok(doc) => {
-            let body = json::to_string(&doc);
-            let hist = match req.path.as_str() {
-                "/v1/classify" => "serve_classify_ns",
-                "/v1/attrs" => "serve_attrs_ns",
-                _ => "serve_other_ns",
-            };
-            hist_record(hist, t0.elapsed().as_nanos() as f64);
-            write_response(stream, 200, "application/json", body.as_bytes(), keep)
-        }
+    let mut nodes = 0usize;
+    let mut timing = JobTiming::default();
+    let outcome: Result<(&'static str, Vec<u8>), (u16, String)> =
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/classify") => classify(req, ctx).map(|(doc, t, n)| {
+                timing = t;
+                nodes = n;
+                (JSON_CT, json::to_string(&doc).into_bytes())
+            }),
+            ("POST", "/v1/attrs") => attrs(req, ctx).map(|(doc, n)| {
+                nodes = n;
+                (JSON_CT, json::to_string(&doc).into_bytes())
+            }),
+            ("GET", "/healthz") => Ok((JSON_CT, json::to_string(&healthz(ctx)).into_bytes())),
+            ("GET", "/metrics") => {
+                // Publish SLO gauges into the registry first, so the
+                // scrape that follows sees them.
+                let _ = ctx.slo.export_gauges();
+                Ok((PROM_CT, autoac_obs::snapshot().prom_dump().into_bytes()))
+            }
+            ("GET", "/debug/traces") => Ok((JSON_CT, debug_traces(ctx).into_bytes())),
+            ("GET", "/slo") => {
+                Ok((JSON_CT, json::to_string(&slo_doc(&ctx.slo.status())).into_bytes()))
+            }
+            ("POST", "/admin/flight") => {
+                flight_dump(ctx).map(|doc| (JSON_CT, json::to_string(&doc).into_bytes()))
+            }
+            ("POST", "/admin/reload") => {
+                reload(req, ctx).map(|doc| (JSON_CT, json::to_string(&doc).into_bytes()))
+            }
+            ("POST", "/admin/shutdown") => {
+                flight_record(
+                    FlightKind::Shutdown,
+                    req.trace_id,
+                    0,
+                    "shutdown requested via POST /admin/shutdown",
+                );
+                ctx.shutdown.store(true, Ordering::SeqCst);
+                let doc = Value::Obj(vec![("ok".into(), Value::Bool(true))]);
+                Ok((JSON_CT, json::to_string(&doc).into_bytes()))
+            }
+            (
+                _,
+                "/v1/classify" | "/v1/attrs" | "/admin/reload" | "/admin/shutdown"
+                | "/admin/flight",
+            ) => Err((405, "use POST".to_string())),
+            (_, "/healthz" | "/metrics" | "/slo" | "/debug/traces") => {
+                Err((405, "use GET".to_string()))
+            }
+            _ => Err((404, format!("no route for {}", req.path))),
+        };
+    let (status, ctype, body) = match outcome {
+        Ok((ct, b)) => (200, ct, b),
         Err((status, msg)) => {
             counter_add("serve_errors_total", 1);
-            respond_error(stream, status, &msg, keep)
+            let b = json::to_string(&Value::Obj(vec![("error".into(), Value::Str(msg))]));
+            (status, JSON_CT, b.into_bytes())
         }
+    };
+    let hist = match req.path.as_str() {
+        "/v1/classify" => "serve_classify_ns",
+        "/v1/attrs" => "serve_attrs_ns",
+        "/metrics" => "serve_metrics_ns",
+        _ => "serve_other_ns",
+    };
+    hist_record_ex(hist, t0.elapsed().as_nanos() as f64, req.trace_id);
+    if timing.batch_size > 0 {
+        hist_record_ex("serve_queue_wait_ns", timing.queue_ns as f64, req.trace_id);
+        hist_record_ex("serve_batch_wait_ns", timing.batch_wait_ns as f64, req.trace_id);
+        hist_record_ex("serve_compute_ns", timing.compute_ns as f64, req.trace_id);
+    }
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if req.trace_id != 0 {
+        extra.push(("x-autoac-trace", format!("{:016x}", req.trace_id)));
+    }
+    let write_start = Instant::now();
+    let res = write_response_with(stream, status, ctype, &body, keep, &extra);
+    let write_ns = write_start.elapsed().as_nanos() as u64;
+    let total_ns = now_ns().saturating_sub(req.t0_ns);
+    ctx.slo.observe(total_ns as f64, status >= 500);
+    flight_record(
+        FlightKind::Request,
+        req.trace_id,
+        total_ns,
+        &format!("{status} {} {}", req.method, req.path),
+    );
+    if req.trace_id != 0 {
+        ctx.traces.push(Timeline {
+            trace_id: req.trace_id,
+            t0_ns: req.t0_ns,
+            method: req.method.clone(),
+            path: req.path.clone(),
+            status,
+            nodes,
+            batch_size: timing.batch_size,
+            parse_ns: req.parse_ns,
+            queue_ns: timing.queue_ns,
+            batch_wait_ns: timing.batch_wait_ns,
+            compute_ns: timing.compute_ns,
+            write_ns,
+            total_ns,
+        });
+    }
+    res
+}
+
+/// `GET /debug/traces` body: the slowest retained timelines, slowest
+/// first, serialized by [`Timeline::to_json`].
+fn debug_traces(ctx: &Ctx) -> String {
+    let items: Vec<String> =
+        ctx.traces.slowest(DEBUG_TRACES_LIMIT).iter().map(Timeline::to_json).collect();
+    format!("{{\"count\":{},\"traces\":[{}]}}", items.len(), items.join(","))
+}
+
+fn window_doc(w: &autoac_obs::WindowStat) -> Value {
+    // /slo is strict JSON: quantiles over an empty window are NaN, which
+    // the encoder would print as null — map them to 0 like the gauges do.
+    let fin = |v: f64| Value::Num(if v.is_finite() { v } else { 0.0 });
+    Value::Obj(vec![
+        ("ticks".into(), Value::Num(w.ticks as f64)),
+        ("total".into(), Value::Num(w.total as f64)),
+        ("errors".into(), Value::Num(w.errors as f64)),
+        ("bad".into(), Value::Num(w.bad as f64)),
+        ("error_rate".into(), fin(w.error_rate)),
+        ("bad_rate".into(), fin(w.bad_rate)),
+        ("burn_rate".into(), fin(w.burn_rate)),
+        ("p50_ns".into(), fin(w.p50_ns)),
+        ("p90_ns".into(), fin(w.p90_ns)),
+        ("p99_ns".into(), fin(w.p99_ns)),
+    ])
+}
+
+fn slo_doc(s: &autoac_obs::SloStatus) -> Value {
+    Value::Obj(vec![
+        ("objective_ns".into(), Value::Num(s.objective_ns)),
+        ("target".into(), Value::Num(s.target)),
+        ("burn_fast_threshold".into(), Value::Num(s.burn_fast_threshold)),
+        ("burn_slow_threshold".into(), Value::Num(s.burn_slow_threshold)),
+        ("firing".into(), Value::Bool(s.firing)),
+        ("fast".into(), window_doc(&s.fast)),
+        ("slow".into(), window_doc(&s.slow)),
+    ])
+}
+
+/// `POST /admin/flight`: dumps the ring to `FLIGHT_<run>.jsonl` under the
+/// configured directory and reports where it went.
+fn flight_dump(ctx: &Ctx) -> Result<Value, (u16, String)> {
+    match autoac_obs::flight_dump_to(&ctx.flight_dir, &ctx.run) {
+        Ok((path, records)) => Ok(Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("path".into(), Value::Str(path.display().to_string())),
+            ("records".into(), Value::Num(records as f64)),
+        ])),
+        Err(e) => Err((500, format!("flight dump failed: {e}"))),
     }
 }
 
@@ -385,12 +563,18 @@ fn parse_nodes(body: &[u8], view: &SharedView) -> Result<Vec<usize>, (u16, Strin
         .collect()
 }
 
-fn classify(req: &Request, ctx: &Ctx) -> Handled {
+fn classify(req: &Request, ctx: &Ctx) -> Result<(Value, JobTiming, usize), (u16, String)> {
     let view = current_view(&ctx.slot);
     let nodes = parse_nodes(&req.body, &view)?;
+    let node_count = nodes.len();
     let (reply_tx, reply_rx) = mpsc::channel();
     ctx.jobs
-        .send(Job::Classify { nodes, reply: reply_tx })
+        .send(Job::Classify {
+            nodes,
+            reply: reply_tx,
+            trace_id: req.trace_id,
+            enqueued_ns: now_ns(),
+        })
         .map_err(|_| (503, "model thread unavailable".to_string()))?;
     let reply = reply_rx.recv().map_err(|_| (503, "model thread unavailable".to_string()))?;
     let results = reply
@@ -404,15 +588,17 @@ fn classify(req: &Request, ctx: &Ctx) -> Handled {
             ])
         })
         .collect();
-    Ok(Value::Obj(vec![
+    let doc = Value::Obj(vec![
         ("ckpt".into(), Value::Str(reply.ckpt)),
         ("results".into(), Value::Arr(results)),
-    ]))
+    ]);
+    Ok((doc, reply.timing, node_count))
 }
 
-fn attrs(req: &Request, ctx: &Ctx) -> Handled {
+fn attrs(req: &Request, ctx: &Ctx) -> Result<(Value, usize), (u16, String)> {
     let view = current_view(&ctx.slot);
     let nodes = parse_nodes(&req.body, &view)?;
+    let node_count = nodes.len();
     let results = nodes
         .iter()
         .map(|&n| {
@@ -424,11 +610,12 @@ fn attrs(req: &Request, ctx: &Ctx) -> Handled {
             ])
         })
         .collect();
-    Ok(Value::Obj(vec![
+    let doc = Value::Obj(vec![
         ("ckpt".into(), Value::Str(view.info.config_fp_hex.clone())),
         ("dim".into(), Value::Num(view.attr_dim as f64)),
         ("results".into(), Value::Arr(results)),
-    ]))
+    ]);
+    Ok((doc, node_count))
 }
 
 fn healthz(ctx: &Ctx) -> Value {

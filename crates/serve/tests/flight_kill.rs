@@ -1,0 +1,114 @@
+//! Kills a real `autoac_serve` process (SIGTERM) while it is under
+//! classify load and asserts the flight recorder leaves a complete,
+//! strictly-parseable `FLIGHT_<run>.jsonl` post-mortem behind.
+
+#![cfg(unix)]
+
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use autoac_core::{train_serve_state, ServeTrainSpec, TrainConfig};
+use autoac_data::json::{self, Value};
+use autoac_serve::Client;
+
+#[test]
+fn sigterm_under_load_leaves_a_parseable_flight_dump() {
+    let dir = std::env::temp_dir().join(format!("autoac_flight_kill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt = dir.join("model.ckpt");
+    let spec = ServeTrainSpec {
+        train: TrainConfig { epochs: 2, patience: 2, ..Default::default() },
+        seed: 71,
+        ..Default::default()
+    };
+    train_serve_state(&spec).expect("train").0.write_atomic(&ckpt).expect("write ckpt");
+
+    let port_file = dir.join("port");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_autoac_serve"))
+        .args([
+            "--checkpoint",
+            &ckpt.display().to_string(),
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.display().to_string(),
+            "--flight-dir",
+            &dir.display().to_string(),
+            "--run",
+            "kill",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn autoac_serve");
+
+    // The port file is written only once the server is ready.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Closed-loop load from three clients; they keep firing until the
+    // process dies under them (errors past that point are expected).
+    let stop = Arc::new(AtomicBool::new(false));
+    let loaders: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(mut c) = Client::connect(&*addr) else { break };
+                    let body = format!("{{\"nodes\":[{},{}]}}", i, i + 1);
+                    while !stop.load(Ordering::Relaxed) {
+                        match c.post("/v1/classify", &body) {
+                            Ok(r) if r.status == 200 => ok += 1,
+                            _ => break,
+                        }
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+
+    // Let some load land, then SIGTERM mid-flight.
+    std::thread::sleep(Duration::from_millis(300));
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -TERM failed");
+
+    let status = child.wait().expect("wait");
+    stop.store(true, Ordering::Relaxed);
+    let served: usize = loaders.into_iter().map(|h| h.join().expect("loader")).sum();
+    assert!(served > 0, "load must have landed before the kill");
+    assert!(status.success(), "SIGTERM is a graceful exit, got {status:?}");
+
+    // The dump exists, every line is strict JSON, and the load shows up.
+    let dump_path = dir.join("FLIGHT_kill.jsonl");
+    let dump = std::fs::read_to_string(&dump_path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", dump_path.display()));
+    let mut requests = 0usize;
+    for (i, line) in dump.lines().enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("line {i} invalid: {e}: {line}"));
+        if i == 0 {
+            assert_eq!(v.get("kind").and_then(Value::as_str), Some("flight"));
+            assert!(v.get("capacity").and_then(Value::as_f64).expect("capacity") > 0.0);
+        } else if v.get("kind").and_then(Value::as_str) == Some("request") {
+            requests += 1;
+        }
+    }
+    assert!(requests > 0, "request summaries survived the kill");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,6 +40,11 @@
 #    bitwise-invisible); /metrics must parse as Prometheus exposition
 #    text, and POST /admin/shutdown must take the daemon down gracefully.
 #    An in-process serve_bench smoke repeats the A/B inside one process.
+#  - the tracing pass: the same driver load against a daemon with
+#    AUTOAC_TRACE=0 must print a digest identical to the traced run
+#    (request-scoped tracing is bitwise-invisible), and the flight-
+#    recorder dump every daemon leaves on shutdown must parse as strict
+#    JSONL (serve_bench --validate-flight).
 #
 # The test suites run under AUTOAC_SLOW_TESTS=1: the default (fast) test
 # profile shrinks end-to-end budgets for interactive iteration; verify is
@@ -170,9 +175,13 @@ SERVE_BENCH="./target/release/serve_bench"
 
 serve_drive() { # $1: batching flag ("" or --no-batching), $2: digest file
   rm -f "$WORK/serve.port"
+  # The flight dump is routed into the work dir (default would be
+  # results/) and named after the digest file so each launch leaves its
+  # own post-mortem for the tracing pass to validate.
   # shellcheck disable=SC2086
   "$SERVE" --checkpoint "$WORK/serve.ckpt" --addr 127.0.0.1:0 --workers 4 \
-    --port-file "$WORK/serve.port" $1 &
+    --port-file "$WORK/serve.port" --flight-dir "$WORK/flight" \
+    --run "$(basename "$2")" $1 &
   local daemon=$!
   for _ in $(seq 1 100); do [ -s "$WORK/serve.port" ] && break; sleep 0.1; done
   [ -s "$WORK/serve.port" ] \
@@ -198,4 +207,19 @@ echo "   batched and unbatched serving digests are byte-identical; graceful shut
 "$SERVE_BENCH" --smoke --out "$WORK/bench_serve_smoke.json" \
   || { echo "verify.sh: FAIL — serve_bench in-process A/B failed"; exit 1; }
 
-echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, sharding, obs smoke, kernel dispatch, and serving OK"
+echo "== tracing pass (AUTOAC_TRACE digest identity + flight dump validation) =="
+# Request-scoped tracing must be bitwise-invisible to responses: the same
+# driver load against a daemon with tracing disabled must print the same
+# digest as the traced batched run above.
+AUTOAC_TRACE=0 serve_drive "" "$WORK/serve_digest_untraced"
+diff "$WORK/serve_digest_batched" "$WORK/serve_digest_untraced" \
+  || { echo "verify.sh: FAIL — AUTOAC_TRACE=0 changed response bytes"; exit 1; }
+echo "   AUTOAC_TRACE=0 serving digest is byte-identical to the traced run"
+# Every daemon above shut down gracefully and left a flight-recorder
+# post-mortem behind; each must parse as strict JSONL with records in it.
+for run in serve_digest_batched serve_digest_single serve_digest_untraced; do
+  "$SERVE_BENCH" --validate-flight "$WORK/flight/FLIGHT_$run.jsonl" \
+    || { echo "verify.sh: FAIL — flight dump for $run is missing or malformed"; exit 1; }
+done
+
+echo "verify.sh: all suites passed with pool off+serial and pool on+parallel; kill-and-resume, bench_alloc, sharding, obs smoke, kernel dispatch, serving, and tracing OK"
